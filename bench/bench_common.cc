@@ -1,0 +1,34 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace gld {
+namespace bench {
+
+void
+banner(const std::string& title, const std::string& paper_ref)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("Shot scale: GLD_SHOTS_SCALE=%.2f (raise for tighter "
+                "statistics)\n\n",
+                BenchConfig::scale());
+}
+
+std::vector<NamedPolicy>
+paper_policies(const NoiseParams& np)
+{
+    return {
+        {"Always-LRC", PolicyZoo::always_lrc()},
+        {"Staggered", PolicyZoo::staggered()},
+        {"M", PolicyZoo::mlr_only()},
+        {"ERASER", PolicyZoo::eraser(false)},
+        {"ERASER+M", PolicyZoo::eraser(true)},
+        {"GLADIATOR+M", PolicyZoo::gladiator(true, np)},
+        {"GLADIATOR-D+M", PolicyZoo::gladiator_d(true, np)},
+        {"IDEAL", PolicyZoo::ideal()},
+    };
+}
+
+}  // namespace bench
+}  // namespace gld

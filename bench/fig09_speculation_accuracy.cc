@@ -1,0 +1,62 @@
+// Figure 9: False Negative (FN), False Positive (FP) and LRC counts for the
+// policy lineup on the distance-7 surface code with p = 1e-3, pl = 1e-4.
+
+#include "bench_common.h"
+
+using namespace gld;
+using namespace gld::bench;
+
+int
+main()
+{
+    banner("Figure 9 - Speculation accuracy and LRC usage",
+           "FN/FP/LRC counts, surface code d=7, p=1e-3, lr=0.1");
+
+    auto bundle = surface(7);
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(1e-3, 0.1);
+    cfg.rounds = 70;  // 10d, as in the paper's Fig 12 horizon
+    cfg.shots = BenchConfig::shots(300);
+    cfg.leakage_sampling = true;
+    cfg.threads = BenchConfig::threads();
+    ExperimentRunner runner(bundle->ctx, cfg);
+
+    std::vector<NamedPolicy> policies = {
+        {"ERASER", PolicyZoo::eraser(false)},
+        {"GLADIATOR", PolicyZoo::gladiator(false, cfg.np)},
+        {"GLADIATOR-D", PolicyZoo::gladiator_d(false, cfg.np)},
+        {"ERASER+M", PolicyZoo::eraser(true)},
+        {"GLADIATOR+M", PolicyZoo::gladiator(true, cfg.np)},
+        {"GLADIATOR-D+M", PolicyZoo::gladiator_d(true, cfg.np)},
+    };
+
+    TablePrinter t({"Policy", "FN/shot", "FP/shot", "LRC/shot",
+                    "FP vs ERASER+M", "LRC vs ERASER+M"});
+    double er_fp = 0, er_lrc = 0;
+    std::vector<Metrics> results;
+    for (const auto& np : policies)
+        results.push_back(runner.run(np.factory));
+    for (size_t i = 0; i < policies.size(); ++i) {
+        if (policies[i].name == "ERASER+M") {
+            er_fp = results[i].fp_per_shot();
+            er_lrc = results[i].lrc_per_shot();
+        }
+    }
+    for (size_t i = 0; i < policies.size(); ++i) {
+        const Metrics& m = results[i];
+        t.add_row({policies[i].name, TablePrinter::fmt(m.fn_per_shot(), 2),
+                   TablePrinter::fmt(m.fp_per_shot(), 2),
+                   TablePrinter::fmt(m.lrc_per_shot(), 2),
+                   er_fp > 0
+                       ? TablePrinter::fmt(er_fp / m.fp_per_shot(), 2) + "x"
+                       : "-",
+                   er_lrc > 0
+                       ? TablePrinter::fmt(er_lrc / m.lrc_per_shot(), 2) + "x"
+                       : "-"});
+    }
+    t.print();
+    std::printf("\nPaper: GLADIATOR+M reduces FP 1.56x and LRCs 1.53x vs "
+                "ERASER+M; GLADIATOR-D+M reduces FP 1.76x and LRCs 1.71x, "
+                "with 1.16x/1.22x more FNs.\n");
+    return 0;
+}

@@ -1,0 +1,110 @@
+// Microbenchmarks (google-benchmark): online classification latency, table
+// construction, simulator round throughput, and union-find decoding — the
+// performance claims behind §4.4's "a few nanoseconds per syndrome".
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/pattern_table.h"
+#include "decode/dem_builder.h"
+#include "decode/union_find.h"
+
+using namespace gld;
+using namespace gld::bench;
+
+namespace {
+
+const CodeBundle&
+surface7()
+{
+    static CodeBundle bundle(SurfaceCode::make(7));
+    return bundle;
+}
+
+void
+BM_PatternLookup(benchmark::State& state)
+{
+    const CodeBundle& b = surface7();
+    const NoiseParams np = NoiseParams::standard();
+    const PatternTableSet tables =
+        PatternTableSet::build(b.ctx, np, {}, false);
+    std::vector<uint8_t> detector(b.code.n_checks(), 0);
+    detector[3] = 1;
+    detector[7] = 1;
+    int q = 0;
+    for (auto _ : state) {
+        q = (q + 1) % b.code.n_data();
+        const uint32_t pat = b.ctx.pattern_of(q, detector);
+        benchmark::DoNotOptimize(
+            tables.is_leak(b.ctx.class_of(q), pat));
+    }
+}
+BENCHMARK(BM_PatternLookup);
+
+void
+BM_TableBuildSingleRound(benchmark::State& state)
+{
+    const CodeBundle& b = surface7();
+    const NoiseParams np = NoiseParams::standard();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            PatternTableSet::build(b.ctx, np, {}, false));
+    }
+}
+BENCHMARK(BM_TableBuildSingleRound);
+
+void
+BM_TableBuildTwoRound(benchmark::State& state)
+{
+    const CodeBundle& b = surface7();
+    const NoiseParams np = NoiseParams::standard();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            PatternTableSet::build(b.ctx, np, {}, true));
+    }
+}
+BENCHMARK(BM_TableBuildTwoRound);
+
+void
+BM_SimulatorRound(benchmark::State& state)
+{
+    const CodeBundle& b = surface7();
+    LeakFrameSim sim(b.code, b.rc, NoiseParams::standard(), 1);
+    LrcSchedule none;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.run_round(none));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorRound);
+
+void
+BM_UnionFindDecode(benchmark::State& state)
+{
+    const CodeBundle& b = surface7();
+    const int rounds = 21;
+    DemBuilder dem(b.code, b.rc, NoiseParams::standard(), rounds);
+    const DecodingGraph g = dem.build();
+    UnionFindDecoder uf(g);
+    Rng rng(5);
+    std::vector<uint8_t> syndrome(g.n_nodes());
+    for (int v = 0; v < g.n_nodes(); ++v)
+        syndrome[v] = rng.bernoulli(0.02);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(uf.decode(syndrome));
+}
+BENCHMARK(BM_UnionFindDecode);
+
+void
+BM_DemBuild(benchmark::State& state)
+{
+    const CodeBundle& b = surface7();
+    for (auto _ : state) {
+        DemBuilder dem(b.code, b.rc, NoiseParams::standard(), 21);
+        benchmark::DoNotOptimize(dem.build());
+    }
+}
+BENCHMARK(BM_DemBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

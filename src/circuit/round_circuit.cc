@@ -1,0 +1,122 @@
+#include "circuit/round_circuit.h"
+
+#include <algorithm>
+
+#include "circuit/schedule.h"
+
+namespace gld {
+
+RoundCircuit::RoundCircuit(const CssCode& code) : code_(&code)
+{
+    const int n_checks = code.n_checks();
+
+    if (code.has_schedule_hint()) {
+        // Hand-crafted interleaved schedule (e.g. the surface code's
+        // hook-safe zig-zag orders).
+        std::vector<std::pair<int, int>> edges;  // (check, data)
+        std::vector<int> colors;
+        int max_step = 0;
+        for (int c = 0; c < n_checks; ++c) {
+            for (const auto& [q, step] : code.schedule_hint()[c]) {
+                edges.emplace_back(c, q);
+                colors.push_back(step);
+                max_step = std::max(max_step, step);
+            }
+        }
+        n_cnot_steps_ = max_step + 1;
+        n_cnots_ = static_cast<int>(edges.size());
+        build_ops(edges, colors);
+        return;
+    }
+
+    // Schedule the Z-check and X-check extraction phases sequentially:
+    // interleaving the two phases is only valid under code-specific CNOT
+    // orderings (the surface code's zig-zag patterns); phase separation
+    // measures the stabilizers correctly for ANY CSS code, which the
+    // generalizability story (color/HGP/BPC) requires.  Each phase is
+    // edge-colored independently (König: depth = max degree).
+    std::vector<std::pair<int, int>> edges;  // (check, data), Z first
+    size_t n_z_edges = 0;
+    for (int c = 0; c < n_checks; ++c) {
+        if (code.check(c).type == CheckType::kZ) {
+            for (int q : code.check(c).support)
+                edges.emplace_back(c, q);
+        }
+    }
+    n_z_edges = edges.size();
+    for (int c = 0; c < n_checks; ++c) {
+        if (code.check(c).type == CheckType::kX) {
+            for (int q : code.check(c).support)
+                edges.emplace_back(c, q);
+        }
+    }
+    std::vector<std::pair<int, int>> z_edges(edges.begin(),
+                                             edges.begin() + n_z_edges);
+    std::vector<std::pair<int, int>> x_edges(edges.begin() + n_z_edges,
+                                             edges.end());
+    int zc = 0, xc = 0;
+    std::vector<int> z_colors, x_colors;
+    if (!z_edges.empty())
+        z_colors = BipartiteEdgeColoring::color(n_checks, code.n_data(),
+                                                z_edges, &zc);
+    if (!x_edges.empty())
+        x_colors = BipartiteEdgeColoring::color(n_checks, code.n_data(),
+                                                x_edges, &xc);
+    std::vector<int> colors(edges.size(), 0);
+    for (size_t e = 0; e < z_edges.size(); ++e)
+        colors[e] = z_colors[e];
+    for (size_t e = 0; e < x_edges.size(); ++e)
+        colors[n_z_edges + e] = zc + x_colors[e];
+    const int n_colors = zc + xc;
+    n_cnot_steps_ = n_colors;
+    n_cnots_ = static_cast<int>(edges.size());
+    build_ops(edges, colors);
+}
+
+void
+RoundCircuit::build_ops(const std::vector<std::pair<int, int>>& edges,
+                        const std::vector<int>& colors)
+{
+    const CssCode& code = *code_;
+    const int n_checks = code.n_checks();
+    // Reset all ancillas.
+    for (int c = 0; c < n_checks; ++c)
+        ops_.push_back({OpType::kResetZ, code.ancilla_of(c), -1, -1, -1});
+    // H on X-check ancillas (prepare |+>).
+    for (int c = 0; c < n_checks; ++c) {
+        if (code.check(c).type == CheckType::kX)
+            ops_.push_back({OpType::kH, code.ancilla_of(c), -1, -1, -1});
+    }
+    // CNOT layers in step order.
+    slots_.assign(code.n_data(), {});
+    for (int step = 0; step < n_cnot_steps_; ++step) {
+        for (size_t e = 0; e < edges.size(); ++e) {
+            if (colors[e] != step)
+                continue;
+            const int c = edges[e].first;
+            const int q = edges[e].second;
+            const int anc = code.ancilla_of(c);
+            if (code.check(c).type == CheckType::kX)
+                ops_.push_back({OpType::kCnot, anc, q, step, -1});
+            else
+                ops_.push_back({OpType::kCnot, q, anc, step, -1});
+            slots_[q].push_back({step, c, code.check(c).type});
+        }
+    }
+    // H on X-check ancillas (unprepare).
+    for (int c = 0; c < n_checks; ++c) {
+        if (code.check(c).type == CheckType::kX)
+            ops_.push_back({OpType::kH, code.ancilla_of(c), -1, -1, -1});
+    }
+    // Measure all ancillas; measurement slot == check index.
+    for (int c = 0; c < n_checks; ++c)
+        ops_.push_back({OpType::kMeasure, code.ancilla_of(c), -1, -1, c});
+
+    for (auto& s : slots_) {
+        std::sort(s.begin(), s.end(), [](const SlotRef& a, const SlotRef& b) {
+            return a.step < b.step;
+        });
+    }
+}
+
+}  // namespace gld

@@ -1,0 +1,76 @@
+#ifndef GLD_CIRCUIT_ROUND_CIRCUIT_H_
+#define GLD_CIRCUIT_ROUND_CIRCUIT_H_
+
+#include <vector>
+
+#include "codes/css_code.h"
+
+namespace gld {
+
+/** Primitive operations of one syndrome-extraction round. */
+enum class OpType : uint8_t {
+    kResetZ,   ///< reset qubit q0 to |0>
+    kH,        ///< Hadamard on q0
+    kCnot,     ///< CNOT with control q0, target q1
+    kMeasure,  ///< Z-basis measurement of q0 into measurement slot `mslot`
+};
+
+/** One operation; fields unused by the op type are -1. */
+struct Op {
+    OpType type;
+    int q0 = -1;
+    int q1 = -1;
+    int step = -1;   ///< CNOT time step (only for kCnot)
+    int mslot = -1;  ///< measurement slot == check index (only for kMeasure)
+};
+
+/** One CNOT slot touching a data qubit, in time order. */
+struct SlotRef {
+    int step;        ///< CNOT layer index
+    int check;       ///< check index (== measurement slot / ancilla id base)
+    CheckType type;  ///< the check's type
+};
+
+/**
+ * The scheduled syndrome-extraction circuit for one QEC round of a CSS code.
+ *
+ * Structure (time order):
+ *   reset all ancillas -> H on X-check ancillas -> CNOT layers (edge-colored
+ *   Tanner graph, X checks drive ancilla->data, Z checks data->ancilla) ->
+ *   H on X-check ancillas -> measure all ancillas.
+ *
+ * The per-data-qubit `slots()` metadata (adjacent checks ordered by CNOT
+ * time step) is the foundation of both the online sequence checker and the
+ * offline GLADIATOR propagation model.
+ */
+class RoundCircuit {
+  public:
+    /** Builds the scheduled round circuit for `code`. */
+    explicit RoundCircuit(const CssCode& code);
+
+    const CssCode& code() const { return *code_; }
+    const std::vector<Op>& ops() const { return ops_; }
+    int n_cnot_steps() const { return n_cnot_steps_; }
+    int n_cnots() const { return n_cnots_; }
+
+    /** Time-ordered CNOT slots per data qubit. */
+    const std::vector<std::vector<SlotRef>>& slots() const { return slots_; }
+    const std::vector<SlotRef>& slots_of(int data_qubit) const
+    {
+        return slots_[data_qubit];
+    }
+
+  private:
+    void build_ops(const std::vector<std::pair<int, int>>& edges,
+                   const std::vector<int>& colors);
+
+    const CssCode* code_;
+    std::vector<Op> ops_;
+    int n_cnot_steps_ = 0;
+    int n_cnots_ = 0;
+    std::vector<std::vector<SlotRef>> slots_;
+};
+
+}  // namespace gld
+
+#endif  // GLD_CIRCUIT_ROUND_CIRCUIT_H_

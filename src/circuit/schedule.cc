@@ -1,0 +1,139 @@
+#include "circuit/schedule.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gld {
+
+std::vector<int>
+BipartiteEdgeColoring::color(int n_left, int n_right,
+                             const std::vector<std::pair<int, int>>& edges,
+                             int* n_colors)
+{
+    // Compute Δ, the maximum degree: the number of colors we will use.
+    std::vector<int> deg_l(n_left, 0), deg_r(n_right, 0);
+    for (const auto& [l, r] : edges) {
+        assert(l >= 0 && l < n_left && r >= 0 && r < n_right);
+        ++deg_l[l];
+        ++deg_r[r];
+    }
+    int delta = 0;
+    for (int d : deg_l)
+        delta = std::max(delta, d);
+    for (int d : deg_r)
+        delta = std::max(delta, d);
+    if (n_colors != nullptr)
+        *n_colors = delta;
+
+    // used_l[l][c] = edge index using color c at left vertex l (-1 if free).
+    std::vector<std::vector<int>> used_l(n_left, std::vector<int>(delta, -1));
+    std::vector<std::vector<int>> used_r(n_right, std::vector<int>(delta, -1));
+    std::vector<int> colors(edges.size(), -1);
+
+    for (size_t e = 0; e < edges.size(); ++e) {
+        const int l = edges[e].first;
+        const int r = edges[e].second;
+        // Find colors free at each endpoint.
+        int cl = -1, cr = -1;
+        for (int c = 0; c < delta; ++c) {
+            if (cl < 0 && used_l[l][c] < 0)
+                cl = c;
+            if (cr < 0 && used_r[r][c] < 0)
+                cr = c;
+        }
+        assert(cl >= 0 && cr >= 0);
+        if (cl == cr) {
+            colors[e] = cl;
+            used_l[l][cl] = static_cast<int>(e);
+            used_r[r][cl] = static_cast<int>(e);
+            continue;
+        }
+        // Flip the alternating (cl, cr) path starting from r: edges colored
+        // cl/cr alternately.  r currently lacks cl?  No: cl is free at l but
+        // used at r; cr is free at r but used at l.  Walk from r along cl.
+        int cur_vertex = r;
+        bool vertex_is_right = true;
+        int want = cl;  // color of the next edge on the path
+        std::vector<int> path;
+        while (true) {
+            const int eid = vertex_is_right ? used_r[cur_vertex][want]
+                                            : used_l[cur_vertex][want];
+            if (eid < 0)
+                break;
+            path.push_back(eid);
+            // Move to the other endpoint of eid.
+            const int nl = edges[eid].first;
+            const int nr = edges[eid].second;
+            if (vertex_is_right) {
+                cur_vertex = nl;
+                vertex_is_right = false;
+            } else {
+                cur_vertex = nr;
+                vertex_is_right = true;
+            }
+            want = (want == cl) ? cr : cl;
+        }
+        // Swap colors cl <-> cr along the path.
+        for (int eid : path) {
+            const int old_c = colors[eid];
+            const int new_c = (old_c == cl) ? cr : cl;
+            const int pl = edges[eid].first;
+            const int pr = edges[eid].second;
+            if (used_l[pl][old_c] == eid)
+                used_l[pl][old_c] = -1;
+            if (used_r[pr][old_c] == eid)
+                used_r[pr][old_c] = -1;
+            colors[eid] = new_c;
+        }
+        for (int eid : path) {
+            const int c = colors[eid];
+            used_l[edges[eid].first][c] = eid;
+            used_r[edges[eid].second][c] = eid;
+        }
+        // Now cl is free at both l and r.
+        assert(used_l[l][cl] < 0 && used_r[r][cl] < 0);
+        colors[e] = cl;
+        used_l[l][cl] = static_cast<int>(e);
+        used_r[r][cl] = static_cast<int>(e);
+    }
+    return colors;
+}
+
+std::vector<int>
+GreedyVertexColoring::color(int n,
+                            const std::vector<std::pair<int, int>>& edges,
+                            int* n_colors)
+{
+    std::vector<std::vector<int>> adj(n);
+    for (const auto& [a, b] : edges) {
+        adj[a].push_back(b);
+        adj[b].push_back(a);
+    }
+    // Color in descending degree order (Welsh-Powell) for tighter colorings.
+    std::vector<int> order(n);
+    for (int i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return adj[a].size() > adj[b].size();
+    });
+    std::vector<int> colors(n, -1);
+    int max_color = -1;
+    std::vector<char> banned;
+    for (int v : order) {
+        banned.assign(static_cast<size_t>(max_color) + 2, 0);
+        for (int u : adj[v]) {
+            if (colors[u] >= 0 && colors[u] < static_cast<int>(banned.size()))
+                banned[colors[u]] = 1;
+        }
+        int c = 0;
+        while (c < static_cast<int>(banned.size()) && banned[c])
+            ++c;
+        colors[v] = c;
+        max_color = std::max(max_color, c);
+    }
+    if (n_colors != nullptr)
+        *n_colors = max_color + 1;
+    return colors;
+}
+
+}  // namespace gld

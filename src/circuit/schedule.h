@@ -1,0 +1,46 @@
+#ifndef GLD_CIRCUIT_SCHEDULE_H_
+#define GLD_CIRCUIT_SCHEDULE_H_
+
+#include <vector>
+
+namespace gld {
+
+/**
+ * Proper edge coloring of a bipartite graph (the code's Tanner graph).
+ *
+ * Each edge (check, data) becomes one CNOT of the syndrome-extraction
+ * circuit; a proper edge coloring partitions the CNOTs into parallel time
+ * steps where no qubit is used twice.  König's theorem guarantees a
+ * Δ-coloring for bipartite graphs; this implements the standard
+ * alternating-path (Kempe chain) algorithm, so the schedule depth equals the
+ * maximum qubit degree.
+ */
+class BipartiteEdgeColoring {
+  public:
+    /**
+     * Colors the edges of a bipartite graph.
+     * @param n_left   number of left vertices (checks).
+     * @param n_right  number of right vertices (data qubits).
+     * @param edges    (left, right) pairs.
+     * @return per-edge color in [0, n_colors).
+     */
+    static std::vector<int> color(
+        int n_left, int n_right,
+        const std::vector<std::pair<int, int>>& edges, int* n_colors);
+};
+
+/**
+ * Greedy vertex coloring of an arbitrary conflict graph, used by the
+ * Staggered Always-LRC policy (paper §3.5): qubits sharing a check (or
+ * within distance two in the Tanner graph) get different colors and are
+ * reset round-robin.
+ */
+class GreedyVertexColoring {
+  public:
+    static std::vector<int> color(
+        int n, const std::vector<std::pair<int, int>>& edges, int* n_colors);
+};
+
+}  // namespace gld
+
+#endif  // GLD_CIRCUIT_SCHEDULE_H_

@@ -1,0 +1,40 @@
+#include "codes/bpc_code.h"
+
+namespace gld {
+
+CssCode
+BpcCode::make(int l, const std::vector<int>& a_exps,
+              const std::vector<int>& b_exps, const std::string& name)
+{
+    const int n = 2 * l;
+    std::vector<Check> checks;
+
+    // X check row i of [A | B]: left-block qubit (i + e) mod l for e in a,
+    // right-block qubit l + (i + e) mod l for e in b.
+    for (int i = 0; i < l; ++i) {
+        std::vector<int> sup;
+        for (int e : a_exps)
+            sup.push_back((i + e) % l);
+        for (int e : b_exps)
+            sup.push_back(l + (i + e) % l);
+        checks.push_back({CheckType::kX, sup});
+    }
+    // Z check row i of [B^T | A^T]: transposed circulant shifts backwards.
+    for (int i = 0; i < l; ++i) {
+        std::vector<int> sup;
+        for (int e : b_exps)
+            sup.push_back(((i - e) % l + l) % l);
+        for (int e : a_exps)
+            sup.push_back(l + ((i - e) % l + l) % l);
+        checks.push_back({CheckType::kZ, sup});
+    }
+    return CssCode(name, n, std::move(checks));
+}
+
+CssCode
+BpcCode::make_default()
+{
+    return make(15, {0, 1, 2}, {0, 5, 10}, "bpc_l15");
+}
+
+}  // namespace gld

@@ -1,0 +1,38 @@
+#ifndef GLD_CODES_BPC_CODE_H_
+#define GLD_CODES_BPC_CODE_H_
+
+#include "codes/css_code.h"
+
+namespace gld {
+
+/**
+ * Balanced-product cyclic (BPC) style code, realized as a generalized
+ * bicycle / lifted product of circulants (the closest open construction to
+ * the BPC codes of QUITS [22]; see DESIGN.md substitution table):
+ *
+ *   HX = [A | B],   HZ = [B^T | A^T]
+ *
+ * with A = a(S), B = b(S) circulant l x l matrices over GF(2) (S the cyclic
+ * shift).  CSS validity follows from circulant commutativity:
+ * HX * HZ^T = A*B + B*A = 0.  Weight-3 polynomials give data-qubit degree 6
+ * (3 X-checks + 3 Z-checks), producing the 7-bit tagged patterns of the
+ * paper's Appendix B.2.
+ */
+class BpcCode {
+  public:
+    /**
+     * @param l       circulant size (block length l; n = 2l data qubits).
+     * @param a_exps  exponents of a(x) (e.g. {0,1,2} for 1 + x + x^2).
+     * @param b_exps  exponents of b(x).
+     */
+    static CssCode make(int l, const std::vector<int>& a_exps,
+                        const std::vector<int>& b_exps,
+                        const std::string& name = "bpc");
+
+    /** Default instance: l = 15, a = 1+x+x^2, b = 1+x^5+x^10 -> [[30, 4]]. */
+    static CssCode make_default();
+};
+
+}  // namespace gld
+
+#endif  // GLD_CODES_BPC_CODE_H_

@@ -1,0 +1,66 @@
+#include "codes/color_code.h"
+
+#include <cassert>
+#include <map>
+
+namespace gld {
+
+CssCode
+ColorCode::make(int d)
+{
+    assert(d >= 3 && d % 2 == 1);
+    const int t = 3 * (d - 1) / 2;
+
+    auto in_region = [&](int x, int y) {
+        return x >= 0 && y >= 0 && x + y <= t;
+    };
+    auto is_face = [&](int x, int y) {
+        return ((x - y) % 3 + 3) % 3 == 1;
+    };
+
+    // Index the data qubits.
+    std::map<std::pair<int, int>, int> qubit_id;
+    for (int x = 0; x <= t; ++x) {
+        for (int y = 0; y <= t - x; ++y) {
+            if (!is_face(x, y))
+                qubit_id[{x, y}] = static_cast<int>(qubit_id.size());
+        }
+    }
+    const int n = static_cast<int>(qubit_id.size());
+    assert(n == (3 * d * d + 1) / 4);
+
+    // Hexagonal (axial) neighbour offsets.
+    static constexpr int kHex[6][2] = {
+        {1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, -1}, {-1, 1}};
+
+    std::vector<Check> checks;
+    for (int x = 0; x <= t; ++x) {
+        for (int y = 0; y <= t - x; ++y) {
+            if (!is_face(x, y))
+                continue;
+            std::vector<int> sup;
+            for (const auto& off : kHex) {
+                const int nx = x + off[0], ny = y + off[1];
+                if (in_region(nx, ny) && !is_face(nx, ny))
+                    sup.push_back(qubit_id.at({nx, ny}));
+            }
+            assert(sup.size() == 4 || sup.size() == 6);
+            // Each face measures both an X and a Z stabilizer.
+            checks.push_back({CheckType::kX, sup});
+            checks.push_back({CheckType::kZ, sup});
+        }
+    }
+
+    // Logical operators: the bottom side (y = 0), self-dual support.
+    std::vector<int> side;
+    for (int x = 0; x <= t; ++x) {
+        if (!is_face(x, 0))
+            side.push_back(qubit_id.at({x, 0}));
+    }
+    assert(static_cast<int>(side.size()) == d);
+
+    return CssCode("color_d" + std::to_string(d), n, std::move(checks), side,
+                   side);
+}
+
+}  // namespace gld

@@ -1,0 +1,30 @@
+#ifndef GLD_CODES_COLOR_CODE_H_
+#define GLD_CODES_COLOR_CODE_H_
+
+#include "codes/css_code.h"
+
+namespace gld {
+
+/**
+ * Triangular 6.6.6 color code of odd distance d: (3d^2 + 1)/4 data qubits
+ * (paper §5.1: 37 qubits at d = 7 vs 97 for the surface code).
+ *
+ * Construction: axial lattice points (x, y) with x, y >= 0 and
+ * x + y <= 3(d-1)/2.  Points with (x - y) mod 3 == 1 are hexagonal face
+ * centers; all other points are data qubits.  Each face supports both an
+ * X and a Z stabilizer on its (4 or 6) neighbouring qubits; boundary faces
+ * are truncated to weight 4.  Logical X/Z is the bottom side (y = 0),
+ * weight d.
+ *
+ * Bulk data qubits touch 3 faces, edge qubits 2, corner qubits 1 — the
+ * source of the paper's 3/2/1-bit color-code syndrome patterns (per check
+ * type).
+ */
+class ColorCode {
+  public:
+    static CssCode make(int d);
+};
+
+}  // namespace gld
+
+#endif  // GLD_CODES_COLOR_CODE_H_

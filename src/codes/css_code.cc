@@ -1,0 +1,65 @@
+#include <cstddef>
+#include "codes/css_code.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gld {
+
+CssCode::CssCode(std::string name, int n_data, std::vector<Check> checks,
+                 std::vector<int> logical_x, std::vector<int> logical_z)
+    : name_(std::move(name)), n_data_(n_data), checks_(std::move(checks)),
+      logical_x_(std::move(logical_x)), logical_z_(std::move(logical_z))
+{
+    for (auto& c : checks_) {
+        std::sort(c.support.begin(), c.support.end());
+        for (int q : c.support)
+            assert(q >= 0 && q < n_data_);
+    }
+    data_adjacency_.assign(n_data_, {});
+    for (size_t i = 0; i < checks_.size(); ++i) {
+        for (int q : checks_[i].support)
+            data_adjacency_[q].push_back(static_cast<int>(i));
+    }
+}
+
+std::vector<int>
+CssCode::checks_of_type(CheckType t) const
+{
+    std::vector<int> out;
+    for (size_t i = 0; i < checks_.size(); ++i) {
+        if (checks_[i].type == t)
+            out.push_back(static_cast<int>(i));
+    }
+    return out;
+}
+
+Gf2Matrix
+CssCode::parity_matrix(CheckType t) const
+{
+    std::vector<std::vector<int>> rows;
+    for (const auto& c : checks_) {
+        if (c.type == t)
+            rows.push_back(c.support);
+    }
+    return Gf2Matrix::from_supports(rows, n_data_);
+}
+
+int
+CssCode::k_logical() const
+{
+    return n_data_ - parity_matrix(CheckType::kX).rank() -
+           parity_matrix(CheckType::kZ).rank();
+}
+
+bool
+CssCode::css_valid() const
+{
+    const Gf2Matrix hx = parity_matrix(CheckType::kX);
+    const Gf2Matrix hz = parity_matrix(CheckType::kZ);
+    if (hx.rows() == 0 || hz.rows() == 0)
+        return true;
+    return hx.mul_transpose(hz).is_zero();
+}
+
+}  // namespace gld

@@ -1,0 +1,96 @@
+#ifndef GLD_CODES_CSS_CODE_H_
+#define GLD_CODES_CSS_CODE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/gf2.h"
+
+namespace gld {
+
+/** Stabilizer check type of a CSS code. */
+enum class CheckType : uint8_t { kX, kZ };
+
+/** A single stabilizer check: its type and data-qubit support. */
+struct Check {
+    CheckType type;
+    std::vector<int> support;  ///< data qubit indices (sorted)
+};
+
+/**
+ * A CSS quantum error-correcting code: data qubits plus X/Z parity checks,
+ * each check owning one ancilla qubit.
+ *
+ * Qubit numbering convention used throughout the repo:
+ *   data qubits:    [0, n_data)
+ *   ancilla qubits: n_data + check_index  (one ancilla per check)
+ *
+ * Logical operators are stored for a single encoded qubit (the memory
+ * experiment qubit); codes with k > 1 logical qubits (HGP/BPC) may leave
+ * them empty — only the surface code is decoded for LER in this repo,
+ * matching the paper's evaluation.
+ */
+class CssCode {
+  public:
+    CssCode(std::string name, int n_data, std::vector<Check> checks,
+            std::vector<int> logical_x = {}, std::vector<int> logical_z = {});
+
+    const std::string& name() const { return name_; }
+    int n_data() const { return n_data_; }
+    int n_checks() const { return static_cast<int>(checks_.size()); }
+    int n_qubits() const { return n_data_ + n_checks(); }
+    const std::vector<Check>& checks() const { return checks_; }
+    const Check& check(int i) const { return checks_[i]; }
+    int ancilla_of(int check) const { return n_data_ + check; }
+
+    const std::vector<int>& logical_x() const { return logical_x_; }
+    const std::vector<int>& logical_z() const { return logical_z_; }
+
+    /** Checks of the given type (indices into checks()). */
+    std::vector<int> checks_of_type(CheckType t) const;
+
+    /** Per data qubit: indices of checks containing it (sorted). */
+    const std::vector<std::vector<int>>& data_adjacency() const
+    {
+        return data_adjacency_;
+    }
+
+    /** Number of encoded logical qubits: n - rank(HX) - rank(HZ). */
+    int k_logical() const;
+
+    /** True if every X check commutes with every Z check. */
+    bool css_valid() const;
+
+    /** Parity check matrix of the given type (rows = checks of type t). */
+    Gf2Matrix parity_matrix(CheckType t) const;
+
+    /**
+     * Optional hand-crafted CNOT schedule: per check, (data qubit, step)
+     * pairs.  Codes with a known hook-safe interleaved schedule (the
+     * surface code's zig-zag orders) provide this; otherwise the circuit
+     * builder falls back to phase-separated edge coloring.
+     */
+    void set_schedule_hint(std::vector<std::vector<std::pair<int, int>>> h)
+    {
+        schedule_hint_ = std::move(h);
+    }
+    bool has_schedule_hint() const { return !schedule_hint_.empty(); }
+    const std::vector<std::vector<std::pair<int, int>>>& schedule_hint()
+        const
+    {
+        return schedule_hint_;
+    }
+
+  private:
+    std::vector<std::vector<std::pair<int, int>>> schedule_hint_;
+    std::string name_;
+    int n_data_;
+    std::vector<Check> checks_;
+    std::vector<int> logical_x_;
+    std::vector<int> logical_z_;
+    std::vector<std::vector<int>> data_adjacency_;
+};
+
+}  // namespace gld
+
+#endif  // GLD_CODES_CSS_CODE_H_

@@ -1,0 +1,61 @@
+#include "codes/hgp_code.h"
+
+namespace gld {
+
+CssCode
+HgpCode::make(const std::vector<std::vector<int>>& h1, int n1,
+              const std::vector<std::vector<int>>& h2, int n2,
+              const std::string& name)
+{
+    const int r1 = static_cast<int>(h1.size());
+    const int r2 = static_cast<int>(h2.size());
+    const int n_vv = n1 * n2;
+    const int n_qubits = n_vv + r1 * r2;
+
+    auto vv = [&](int v1, int v2) { return v1 * n2 + v2; };
+    auto cc = [&](int c1, int c2) { return n_vv + c1 * r2 + c2; };
+
+    std::vector<Check> checks;
+    // X checks: (c1, v2).
+    for (int c1 = 0; c1 < r1; ++c1) {
+        for (int v2 = 0; v2 < n2; ++v2) {
+            std::vector<int> sup;
+            for (int v1 : h1[c1])
+                sup.push_back(vv(v1, v2));
+            for (int c2 = 0; c2 < r2; ++c2) {
+                for (int v : h2[c2]) {
+                    if (v == v2)
+                        sup.push_back(cc(c1, c2));
+                }
+            }
+            checks.push_back({CheckType::kX, sup});
+        }
+    }
+    // Z checks: (v1, c2).
+    for (int v1 = 0; v1 < n1; ++v1) {
+        for (int c2 = 0; c2 < r2; ++c2) {
+            std::vector<int> sup;
+            for (int v2 : h2[c2])
+                sup.push_back(vv(v1, v2));
+            for (int c1 = 0; c1 < r1; ++c1) {
+                for (int v : h1[c1]) {
+                    if (v == v1)
+                        sup.push_back(cc(c1, c2));
+                }
+            }
+            checks.push_back({CheckType::kZ, sup});
+        }
+    }
+    return CssCode(name, n_qubits, std::move(checks));
+}
+
+CssCode
+HgpCode::make_hamming()
+{
+    // Hamming(7,4) parity-check matrix rows (columns 0..6).
+    const std::vector<std::vector<int>> h = {
+        {0, 2, 4, 6}, {1, 2, 5, 6}, {3, 4, 5, 6}};
+    return make(h, 7, h, 7, "hgp_hamming74");
+}
+
+}  // namespace gld

@@ -1,0 +1,36 @@
+#ifndef GLD_CODES_HGP_CODE_H_
+#define GLD_CODES_HGP_CODE_H_
+
+#include "codes/css_code.h"
+
+namespace gld {
+
+/**
+ * Hypergraph product (HGP) code of two classical parity-check matrices
+ * (Tillich-Zemor construction), the qLDPC family the paper evaluates in
+ * Table 5.
+ *
+ * For H1 (r1 x n1) and H2 (r2 x n2):
+ *   qubits  = n1*n2 ("VV" block) + r1*r2 ("CC" block)
+ *   X check (c1, v2): VV (v1, v2) where H1[c1,v1]=1; CC (c1, c2) where
+ *                     H2[c2,v2]=1.
+ *   Z check (v1, c2): VV (v1, v2) where H2[c2,v2]=1; CC (c1, c2) where
+ *                     H1[c1,v1]=1.
+ *
+ * Data-qubit degrees are irregular (the paper's motivation for a
+ * generalizable speculation scheme).
+ */
+class HgpCode {
+  public:
+    /** Product of two explicit binary matrices given as row supports. */
+    static CssCode make(const std::vector<std::vector<int>>& h1, int n1,
+                        const std::vector<std::vector<int>>& h2, int n2,
+                        const std::string& name = "hgp");
+
+    /** HGP of Hamming(7,4) with itself: a [[58, 16]] code. */
+    static CssCode make_hamming();
+};
+
+}  // namespace gld
+
+#endif  // GLD_CODES_HGP_CODE_H_

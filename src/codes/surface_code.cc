@@ -1,0 +1,83 @@
+#include "codes/surface_code.h"
+
+#include <cassert>
+
+namespace gld {
+
+CssCode
+SurfaceCode::make(int d)
+{
+    assert(d >= 3 && d % 2 == 1);
+    std::vector<Check> checks;
+
+    // Plaquette anchored at (r, c), r, c in [0, d]: covers the up-to-four
+    // data qubits {(r-1,c-1), (r-1,c), (r,c-1), (r,c)} clipped to the grid.
+    auto plaquette = [&](int r, int c) {
+        std::vector<int> sup;
+        for (int dr = -1; dr <= 0; ++dr) {
+            for (int dc = -1; dc <= 0; ++dc) {
+                const int rr = r + dr, cc = c + dc;
+                if (rr >= 0 && rr < d && cc >= 0 && cc < d)
+                    sup.push_back(data_index(d, rr, cc));
+            }
+        }
+        return sup;
+    };
+
+    // The canonical hook-safe interleaved schedule: X checks touch their
+    // data in "Z" order (NW, NE, SW, SE), Z checks in "N" order
+    // (NW, SW, NE, SE); boundary halves keep the absolute step positions.
+    std::vector<std::vector<std::pair<int, int>>> hint;
+    auto ordered_steps = [&](int r, int c, bool x_type) {
+        const std::pair<int, int> nw{r - 1, c - 1}, ne{r - 1, c},
+            sw{r, c - 1}, se{r, c};
+        std::vector<std::pair<int, int>> cells;
+        if (x_type)
+            cells = {nw, ne, sw, se};
+        else
+            cells = {nw, sw, ne, se};
+        std::vector<std::pair<int, int>> out;  // (data qubit, step)
+        for (int step = 0; step < 4; ++step) {
+            const auto [rr, cc] = cells[step];
+            if (rr >= 0 && rr < d && cc >= 0 && cc < d)
+                out.emplace_back(data_index(d, rr, cc), step);
+        }
+        return out;
+    };
+
+    for (int r = 0; r <= d; ++r) {
+        for (int c = 0; c <= d; ++c) {
+            const bool interior = r >= 1 && r <= d - 1 && c >= 1 && c <= d - 1;
+            const bool x_type = (r + c) % 2 == 1;
+            bool include = false;
+            if (interior) {
+                include = true;
+            } else if ((r == 0 || r == d) && c >= 1 && c <= d - 1) {
+                // Top/bottom boundary rows host only X-type half plaquettes.
+                include = x_type;
+            } else if ((c == 0 || c == d) && r >= 1 && r <= d - 1) {
+                // Left/right boundary columns host only Z-type halves.
+                include = !x_type;
+            }
+            if (!include)
+                continue;
+            checks.push_back({x_type ? CheckType::kX : CheckType::kZ,
+                              plaquette(r, c)});
+            hint.push_back(ordered_steps(r, c, x_type));
+        }
+    }
+    assert(static_cast<int>(checks.size()) == d * d - 1);
+
+    std::vector<int> logical_z, logical_x;
+    for (int c = 0; c < d; ++c)
+        logical_z.push_back(data_index(d, 0, c));  // top row
+    for (int r = 0; r < d; ++r)
+        logical_x.push_back(data_index(d, r, 0));  // left column
+
+    CssCode code("surface_d" + std::to_string(d), d * d, std::move(checks),
+                 std::move(logical_x), std::move(logical_z));
+    code.set_schedule_hint(std::move(hint));
+    return code;
+}
+
+}  // namespace gld

@@ -1,0 +1,28 @@
+#ifndef GLD_CODES_SURFACE_CODE_H_
+#define GLD_CODES_SURFACE_CODE_H_
+
+#include "codes/css_code.h"
+
+namespace gld {
+
+/**
+ * Rotated surface code of odd distance d: d^2 data qubits, d^2 - 1 checks
+ * (paper §2.2: 2d^2 - 1 qubits total).
+ *
+ * Layout: data qubit (r, c) for 0 <= r, c < d at index r*d + c.  Plaquette
+ * ancillas live on the dual lattice; X-type checks terminate on the
+ * top/bottom boundaries, Z-type on left/right.  Logical Z is the top row of
+ * data qubits, logical X the left column.
+ */
+class SurfaceCode {
+  public:
+    /** Builds the distance-d rotated surface code (d odd, d >= 3). */
+    static CssCode make(int d);
+
+    /** Data qubit index for grid coordinates. */
+    static int data_index(int d, int row, int col) { return row * d + col; }
+};
+
+}  // namespace gld
+
+#endif  // GLD_CODES_SURFACE_CODE_H_

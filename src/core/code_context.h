@@ -1,0 +1,106 @@
+#ifndef GLD_CORE_CODE_CONTEXT_H_
+#define GLD_CORE_CODE_CONTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/round_circuit.h"
+#include "codes/css_code.h"
+
+namespace gld {
+
+/** Which adjacent checks contribute bits to a data qubit's pattern. */
+enum class PatternScope : uint8_t {
+    kBothTypes,  ///< all adjacent checks (surface/HGP/BPC: 4/var/6-bit)
+    kZOnly,      ///< Z-type checks only (self-dual codes: color, 1-3 bit)
+};
+
+/**
+ * A class of data qubits sharing the same local circuit structure: the
+ * time-ordered types of their CNOT slots, the observation mask (which slots'
+ * checks contribute pattern bits) and the weights of the involved checks.
+ * All qubits of a class share one speculation table (paper §4.4: "a single
+ * sequence checker can be shared across multiple data qubits").
+ */
+struct PatternClass {
+    std::vector<CheckType> slot_types;  ///< physical slots, time order
+    std::vector<uint8_t> observed;      ///< 1 if the slot's bit is observed
+    std::vector<int> check_weights;     ///< stabilizer weight per slot
+    int k_obs = 0;                      ///< number of observed bits
+    /**
+     * Observed-bit masks randomized by the leakage of someone ELSE: one
+     * mask per neighbouring data qubit (the bits of the checks it shares
+     * with this qubit) and one single-bit mask per slot (the slot's own
+     * ancilla).  These feed the non-leakage side of the graph — such
+     * patterns should trigger the neighbour's (or the MLR's) mitigation,
+     * not this qubit's.
+     */
+    std::vector<uint32_t> neighbor_masks;
+
+    bool operator==(const PatternClass& o) const
+    {
+        return slot_types == o.slot_types && observed == o.observed &&
+               check_weights == o.check_weights &&
+               neighbor_masks == o.neighbor_masks;
+    }
+};
+
+/**
+ * Shared per-code context for speculation policies: the data-qubit pattern
+ * classes, pattern extraction from detector vectors, and the ERASER
+ * popcount thresholds.
+ */
+class CodeContext {
+  public:
+    CodeContext(const CssCode& code, const RoundCircuit& rc,
+                PatternScope scope);
+
+    const CssCode& code() const { return *code_; }
+    const RoundCircuit& rc() const { return *rc_; }
+    PatternScope scope() const { return scope_; }
+
+    int n_classes() const { return static_cast<int>(classes_.size()); }
+    const std::vector<PatternClass>& classes() const { return classes_; }
+    int class_of(int data_qubit) const { return class_of_[data_qubit]; }
+
+    /** Observed pattern width for a data qubit. */
+    int degree_of(int data_qubit) const
+    {
+        return classes_[class_of_[data_qubit]].k_obs;
+    }
+    /** Widest observed pattern in the code. */
+    int max_degree() const { return max_degree_; }
+
+    /**
+     * Extracts data qubit q's pattern from this round's detector bits.
+     * Bit i of the result is the detector of the i-th observed slot in
+     * time order.
+     */
+    uint32_t pattern_of(int q, const std::vector<uint8_t>& detector) const;
+
+    /** Observed adjacent checks of q, in slot (time) order. */
+    const std::vector<int>& observed_checks(int q) const
+    {
+        return observed_checks_[q];
+    }
+
+    /**
+     * Default pattern scope for a code: kZOnly for self-dual codes (every
+     * X-check support equals some Z-check support, e.g. color codes),
+     * kBothTypes otherwise.
+     */
+    static PatternScope default_scope(const CssCode& code);
+
+  private:
+    const CssCode* code_;
+    const RoundCircuit* rc_;
+    PatternScope scope_;
+    std::vector<PatternClass> classes_;
+    std::vector<int> class_of_;
+    std::vector<std::vector<int>> observed_checks_;
+    int max_degree_ = 0;
+};
+
+}  // namespace gld
+
+#endif  // GLD_CORE_CODE_CONTEXT_H_

@@ -1,0 +1,20 @@
+#include "core/mobility.h"
+
+namespace gld {
+
+void
+MobilityEstimator::observe(const std::vector<int>& flagged_data,
+                           const RoundResult& rr)
+{
+    for (int q : flagged_data) {
+        ++flagged_;
+        for (int c : ctx_->observed_checks(q)) {
+            if (rr.mlr_flag[c]) {
+                ++co_leaked_;
+                break;
+            }
+        }
+    }
+}
+
+}  // namespace gld

@@ -1,0 +1,56 @@
+#ifndef GLD_CORE_MOBILITY_H_
+#define GLD_CORE_MOBILITY_H_
+
+#include "core/code_context.h"
+#include "sim/frame_sim.h"
+
+namespace gld {
+
+/**
+ * Leakage-mobility estimator (paper §7.6): combines GLADIATOR's speculative
+ * data-qubit flags with the MLR signals of neighbouring ancillas.  The
+ * conditional rate P(adjacent ancilla MLR-leaked | data qubit flagged)
+ * grows with the device's leakage transport probability, so thresholding it
+ * (calibrated at the 5% mobility boundary, after [13]) classifies the
+ * device into the low-mobility regime (use open-loop / walking codes) or
+ * the high-mobility regime (use closed-loop speculation).
+ */
+class MobilityEstimator {
+  public:
+    explicit MobilityEstimator(const CodeContext& ctx) : ctx_(&ctx) {}
+
+    /**
+     * Accumulates one round of evidence.
+     * @param flagged_data data qubits speculated leaked this round.
+     * @param rr           the round's result (for MLR flags).
+     */
+    void observe(const std::vector<int>& flagged_data, const RoundResult& rr);
+
+    /** The measured conditional rate (0 if no evidence yet). */
+    double conditional_rate() const
+    {
+        return flagged_ > 0 ? static_cast<double>(co_leaked_) / flagged_ : 0.0;
+    }
+    long samples() const { return flagged_; }
+
+    /** True if the estimate exceeds the calibrated decision threshold. */
+    bool classify_high(double calibrated_threshold) const
+    {
+        return conditional_rate() > calibrated_threshold;
+    }
+
+    void reset()
+    {
+        flagged_ = 0;
+        co_leaked_ = 0;
+    }
+
+  private:
+    const CodeContext* ctx_;
+    long flagged_ = 0;
+    long co_leaked_ = 0;
+};
+
+}  // namespace gld
+
+#endif  // GLD_CORE_MOBILITY_H_

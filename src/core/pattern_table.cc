@@ -1,0 +1,30 @@
+#include "core/pattern_table.h"
+
+namespace gld {
+
+PatternTableSet
+PatternTableSet::build(const CodeContext& ctx, const NoiseParams& np,
+                       const SpecModelOptions& opt, bool two_round)
+{
+    PatternTableSet out;
+    out.two_round_ = two_round;
+    for (const PatternClass& cls : ctx.classes()) {
+        const PatternWeights w = two_round
+                                     ? SpecModel::two_round(cls, np, opt)
+                                     : SpecModel::single_round(cls, np, opt);
+        out.tables_.push_back(SpecModel::label(w, opt.threshold));
+        out.bits_.push_back(w.bits);
+    }
+    return out;
+}
+
+int
+PatternTableSet::flagged_count(int cls) const
+{
+    int n = 0;
+    for (uint8_t f : tables_[cls])
+        n += f;
+    return n;
+}
+
+}  // namespace gld

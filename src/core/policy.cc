@@ -1,0 +1,40 @@
+#include "core/policy.h"
+
+namespace gld {
+
+void
+append_mlr_checks(const RoundResult& rr, LrcSchedule* out)
+{
+    for (size_t c = 0; c < rr.mlr_flag.size(); ++c) {
+        if (rr.mlr_flag[c])
+            out->checks.push_back(static_cast<int>(c));
+    }
+}
+
+void
+IdealPolicy::observe(int round, const RoundResult& rr, LrcSchedule* out)
+{
+    (void)round;
+    (void)rr;
+    out->clear();
+    if (sim_ == nullptr)
+        return;
+    for (int q = 0; q < ctx_->code().n_data(); ++q) {
+        if (sim_->data_leaked(q))
+            out->data_qubits.push_back(q);
+    }
+    for (int c = 0; c < ctx_->code().n_checks(); ++c) {
+        if (sim_->check_leaked(c))
+            out->checks.push_back(c);
+    }
+}
+
+void
+MlrOnlyPolicy::observe(int round, const RoundResult& rr, LrcSchedule* out)
+{
+    (void)round;
+    out->clear();
+    append_mlr_checks(rr, out);
+}
+
+}  // namespace gld

@@ -1,0 +1,54 @@
+#include "core/policy_static.h"
+
+#include "circuit/schedule.h"
+
+namespace gld {
+
+void
+AlwaysLrcPolicy::observe(int, const RoundResult&, LrcSchedule* out)
+{
+    out->clear();
+    for (int q = 0; q < ctx_->code().n_data(); ++q)
+        out->data_qubits.push_back(q);
+    for (int c = 0; c < ctx_->code().n_checks(); ++c)
+        out->checks.push_back(c);
+}
+
+StaggeredLrcPolicy::StaggeredLrcPolicy(const CodeContext& ctx) : ctx_(&ctx)
+{
+    const CssCode& code = ctx.code();
+    const int n = code.n_qubits();
+    // Conflict graph: qubits interacting through a common check — the
+    // check's ancilla with each of its data qubits, and the data qubits of
+    // a check pairwise ("adjacent or diagonally neighbouring", §3.5).
+    std::vector<std::pair<int, int>> edges;
+    for (int c = 0; c < code.n_checks(); ++c) {
+        const auto& sup = code.check(c).support;
+        const int anc = code.ancilla_of(c);
+        for (size_t i = 0; i < sup.size(); ++i) {
+            edges.emplace_back(anc, sup[i]);
+            for (size_t j = i + 1; j < sup.size(); ++j)
+                edges.emplace_back(sup[i], sup[j]);
+        }
+    }
+    colors_ = GreedyVertexColoring::color(n, edges, &n_colors_);
+}
+
+void
+StaggeredLrcPolicy::observe(int round, const RoundResult&, LrcSchedule* out)
+{
+    out->clear();
+    // The group LRC'd at the START of round (round + 1).
+    const int group = (round + 1) % n_colors_;
+    const CssCode& code = ctx_->code();
+    for (int q = 0; q < code.n_data(); ++q) {
+        if (colors_[q] == group)
+            out->data_qubits.push_back(q);
+    }
+    for (int c = 0; c < code.n_checks(); ++c) {
+        if (colors_[code.ancilla_of(c)] == group)
+            out->checks.push_back(c);
+    }
+}
+
+}  // namespace gld

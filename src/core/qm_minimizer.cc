@@ -1,0 +1,176 @@
+#include <cstddef>
+#include "core/qm_minimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace gld {
+
+std::vector<Cube>
+QmMinimizer::prime_implicants(int n, const std::vector<uint32_t>& minterms)
+{
+    // Iteratively combine implicants differing in exactly one cared bit.
+    std::set<std::pair<uint32_t, uint32_t>> current;  // (value, dash_mask)
+    for (uint32_t m : minterms)
+        current.insert({m, 0});
+
+    std::vector<Cube> primes;
+    while (!current.empty()) {
+        std::set<std::pair<uint32_t, uint32_t>> next;
+        std::map<std::pair<uint32_t, uint32_t>, bool> combined;
+        std::vector<std::pair<uint32_t, uint32_t>> items(current.begin(),
+                                                         current.end());
+        for (auto& it : items)
+            combined[it] = false;
+        // Group by (dash_mask, popcount) implicitly via pairwise scan —
+        // fine for the <= 2^20 spaces used here since tables are small.
+        for (size_t i = 0; i < items.size(); ++i) {
+            for (size_t j = i + 1; j < items.size(); ++j) {
+                if (items[i].second != items[j].second)
+                    continue;
+                const uint32_t diff = items[i].first ^ items[j].first;
+                if (__builtin_popcount(diff) != 1)
+                    continue;
+                next.insert({items[i].first & ~diff,
+                             items[i].second | diff});
+                combined[items[i]] = true;
+                combined[items[j]] = true;
+            }
+        }
+        for (const auto& it : items) {
+            if (!combined[it])
+                primes.push_back({it.first, it.second});
+        }
+        current = std::move(next);
+    }
+    (void)n;
+    return primes;
+}
+
+std::vector<Cube>
+QmMinimizer::minimize(int n, const std::vector<uint32_t>& onset,
+                      const std::vector<uint32_t>& dontcare)
+{
+    assert(n >= 1 && n <= 20);
+    if (onset.empty())
+        return {};
+
+    std::vector<uint32_t> all = onset;
+    all.insert(all.end(), dontcare.begin(), dontcare.end());
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+
+    std::vector<Cube> primes = prime_implicants(n, all);
+
+    // Cover only the real onset (don't-cares need no cover).
+    std::vector<uint32_t> need = onset;
+    std::sort(need.begin(), need.end());
+    need.erase(std::unique(need.begin(), need.end()), need.end());
+
+    // cover[m] = prime indices covering minterm m.
+    std::vector<std::vector<int>> cover(need.size());
+    for (size_t p = 0; p < primes.size(); ++p) {
+        for (size_t m = 0; m < need.size(); ++m) {
+            if (primes[p].covers(need[m]))
+                cover[m].push_back(static_cast<int>(p));
+        }
+    }
+
+    std::vector<Cube> chosen;
+    std::vector<char> covered(need.size(), 0);
+    std::vector<char> used(primes.size(), 0);
+
+    // Essential primes: minterms covered by exactly one prime.
+    for (size_t m = 0; m < need.size(); ++m) {
+        if (cover[m].size() == 1 && !used[cover[m][0]]) {
+            used[cover[m][0]] = 1;
+            chosen.push_back(primes[cover[m][0]]);
+        }
+    }
+    for (size_t m = 0; m < need.size(); ++m) {
+        for (int p : cover[m]) {
+            if (used[p]) {
+                covered[m] = 1;
+                break;
+            }
+        }
+    }
+
+    // Greedy cover for the rest (Petrick's method is exponential; greedy
+    // is within a log factor and matches practice).
+    while (true) {
+        int best = -1;
+        int best_gain = 0;
+        for (size_t p = 0; p < primes.size(); ++p) {
+            if (used[p])
+                continue;
+            int gain = 0;
+            for (size_t m = 0; m < need.size(); ++m) {
+                if (!covered[m] && primes[p].covers(need[m]))
+                    ++gain;
+            }
+            if (gain > best_gain) {
+                best_gain = gain;
+                best = static_cast<int>(p);
+            }
+        }
+        if (best < 0)
+            break;
+        used[best] = 1;
+        chosen.push_back(primes[best]);
+        for (size_t m = 0; m < need.size(); ++m) {
+            if (!covered[m] && primes[best].covers(need[m]))
+                covered[m] = 1;
+        }
+    }
+    return chosen;
+}
+
+bool
+QmMinimizer::eval(const std::vector<Cube>& cubes, uint32_t x)
+{
+    for (const Cube& c : cubes) {
+        if (c.covers(x))
+            return true;
+    }
+    return false;
+}
+
+std::string
+QmMinimizer::cube_to_string(const Cube& cube, int n)
+{
+    std::string s = "(";
+    bool first = true;
+    for (int i = 0; i < n; ++i) {
+        if ((cube.dash_mask >> i) & 1u)
+            continue;
+        if (!first)
+            s += " & ";
+        first = false;
+        if (!((cube.value >> i) & 1u))
+            s += "!";
+        s += "x" + std::to_string(i);
+    }
+    if (first)
+        s += "1";  // the constant-true cube
+    s += ")";
+    return s;
+}
+
+std::string
+QmMinimizer::to_string(const std::vector<Cube>& cubes, int n)
+{
+    if (cubes.empty())
+        return "0";
+    std::string s;
+    for (size_t i = 0; i < cubes.size(); ++i) {
+        if (i > 0)
+            s += " | ";
+        s += cube_to_string(cubes[i], n);
+    }
+    return s;
+}
+
+}  // namespace gld

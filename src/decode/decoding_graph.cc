@@ -1,0 +1,23 @@
+#include <cstddef>
+#include "decode/decoding_graph.h"
+
+#include <cassert>
+
+namespace gld {
+
+DecodingGraph::DecodingGraph(int n_nodes, std::vector<GraphEdge> edges)
+    : n_nodes_(n_nodes), edges_(std::move(edges))
+{
+    incidence_.assign(n_nodes_, {});
+    for (size_t e = 0; e < edges_.size(); ++e) {
+        const GraphEdge& ge = edges_[e];
+        assert(ge.u >= 0 && ge.u < n_nodes_);
+        incidence_[ge.u].push_back(static_cast<int>(e));
+        if (ge.v != GraphEdge::kBoundary) {
+            assert(ge.v >= 0 && ge.v < n_nodes_);
+            incidence_[ge.v].push_back(static_cast<int>(e));
+        }
+    }
+}
+
+}  // namespace gld

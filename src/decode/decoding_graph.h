@@ -1,0 +1,48 @@
+#ifndef GLD_DECODE_DECODING_GRAPH_H_
+#define GLD_DECODE_DECODING_GRAPH_H_
+
+#include <vector>
+
+namespace gld {
+
+/**
+ * One edge of the space-time decoding graph.  `v == kBoundary` marks a
+ * boundary edge (the fault flips a single detector).  `logical` records
+ * whether the underlying fault flips the logical observable.
+ */
+struct GraphEdge {
+    int u;
+    int v;
+    bool logical;
+    double prob;
+
+    static constexpr int kBoundary = -1;
+};
+
+/**
+ * Space-time decoding graph over Z-type detectors for a memory-Z
+ * experiment: node (r, zc) = r * n_z + zc for syndrome rounds r in
+ * [0, rounds) plus one final layer (r = rounds) comparing the last
+ * syndrome measurements with the transversal data readout.
+ */
+class DecodingGraph {
+  public:
+    DecodingGraph(int n_nodes, std::vector<GraphEdge> edges);
+
+    int n_nodes() const { return n_nodes_; }
+    const std::vector<GraphEdge>& edges() const { return edges_; }
+    /** Edge ids incident to a node (boundary edges appear at u only). */
+    const std::vector<std::vector<int>>& incidence() const
+    {
+        return incidence_;
+    }
+
+  private:
+    int n_nodes_;
+    std::vector<GraphEdge> edges_;
+    std::vector<std::vector<int>> incidence_;
+};
+
+}  // namespace gld
+
+#endif  // GLD_DECODE_DECODING_GRAPH_H_

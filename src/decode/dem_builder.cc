@@ -1,0 +1,262 @@
+#include <cstddef>
+#include "decode/dem_builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace gld {
+
+namespace {
+
+// Pauli encoding for injections: bit 0 = X component, bit 1 = Z component.
+constexpr int kPauliX = 1;
+constexpr int kPauliZ = 2;
+constexpr int kPauliY = 3;
+
+}  // namespace
+
+DemBuilder::DemBuilder(const CssCode& code, const RoundCircuit& rc,
+                       const NoiseParams& np, int rounds)
+    : code_(&code), rc_(&rc), np_(np), rounds_(rounds)
+{
+    z_index_.assign(code.n_checks(), -1);
+    for (int c = 0; c < code.n_checks(); ++c) {
+        if (code.check(c).type == CheckType::kZ) {
+            z_index_[c] = static_cast<int>(z_checks_.size());
+            z_checks_.push_back(c);
+        }
+    }
+    logical_mask_.assign(code.n_data(), 0);
+    for (int q : code.logical_z())
+        logical_mask_[q] ^= 1;
+    fx_.assign(code.n_qubits(), 0);
+    fz_.assign(code.n_qubits(), 0);
+}
+
+DemBuilder::TemplateFault
+DemBuilder::propagate(const std::vector<std::pair<int, int>>& inject,
+                      size_t start_op, double prob)
+{
+    // Clear only the qubits touched by the previous call.
+    for (int q : touched_) {
+        fx_[q] = 0;
+        fz_[q] = 0;
+    }
+    touched_.clear();
+    auto touch = [&](int q) { touched_.push_back(q); };
+
+    for (const auto& [q, pauli] : inject) {
+        fx_[q] ^= pauli & 1;
+        fz_[q] ^= (pauli >> 1) & 1;
+        touch(q);
+    }
+
+    std::vector<std::pair<int, uint8_t>> mflips;  // (check, flip)
+    const auto& ops = rc_->ops();
+    for (size_t i = start_op; i < ops.size(); ++i) {
+        const Op& op = ops[i];
+        switch (op.type) {
+          case OpType::kResetZ:
+            fx_[op.q0] = 0;
+            fz_[op.q0] = 0;
+            break;
+          case OpType::kH:
+            std::swap(fx_[op.q0], fz_[op.q0]);
+            break;
+          case OpType::kCnot:
+            if (fx_[op.q0]) {
+                fx_[op.q1] ^= 1;
+                touch(op.q1);
+            }
+            if (fz_[op.q1]) {
+                fz_[op.q0] ^= 1;
+                touch(op.q0);
+            }
+            break;
+          case OpType::kMeasure:
+            if (fx_[op.q0])
+                mflips.emplace_back(op.mslot, 1);
+            break;
+        }
+    }
+
+    // Steady-state parity per Z check (all later rounds measure this).
+    TemplateFault out;
+    out.prob = prob;
+    out.logical = false;
+    std::vector<std::pair<int, int>> acc;  // (layer, zidx) with multiplicity
+    for (const auto& [check, flip] : mflips) {
+        if (flip && z_index_[check] >= 0) {
+            acc.emplace_back(0, z_index_[check]);
+            acc.emplace_back(1, z_index_[check]);  // det(r+1) ^= m_r flip
+        }
+    }
+    for (size_t zi = 0; zi < z_checks_.size(); ++zi) {
+        uint8_t parity = 0;
+        for (int q : code_->check(z_checks_[zi]).support)
+            parity ^= fx_[q];
+        if (parity)
+            acc.emplace_back(1, static_cast<int>(zi));
+    }
+    for (int q = 0; q < code_->n_data(); ++q) {
+        if (fx_[q] && logical_mask_[q])
+            out.logical = !out.logical;
+    }
+    // XOR-dedupe the accumulated (layer, zidx) flips.
+    std::sort(acc.begin(), acc.end());
+    for (size_t i = 0; i < acc.size();) {
+        size_t j = i;
+        while (j < acc.size() && acc[j] == acc[i])
+            ++j;
+        if ((j - i) % 2 == 1)
+            out.dets.push_back(acc[i]);
+        i = j;
+    }
+    return out;
+}
+
+void
+DemBuilder::enumerate_template()
+{
+    if (template_built_)
+        return;
+    template_built_ = true;
+    const auto& ops = rc_->ops();
+    const double p = np_.p;
+
+    // Round-start data depolarization.
+    for (int q = 0; q < code_->n_data(); ++q) {
+        for (int pauli : {kPauliX, kPauliZ, kPauliY})
+            template_faults_.push_back(propagate({{q, pauli}}, 0, p / 3.0));
+    }
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const Op& op = ops[i];
+        switch (op.type) {
+          case OpType::kResetZ:
+            template_faults_.push_back(
+                propagate({{op.q0, kPauliX}}, i + 1, p));
+            break;
+          case OpType::kH:
+            for (int pauli : {kPauliX, kPauliZ, kPauliY}) {
+                template_faults_.push_back(
+                    propagate({{op.q0, pauli}}, i + 1, p / 3.0));
+            }
+            break;
+          case OpType::kCnot:
+            // Marginal single-qubit components of the two-qubit
+            // depolarizing channel (4/15 each); correlated pairs are left
+            // to the simulator and absorbed as independent edges.
+            for (int pauli : {kPauliX, kPauliZ, kPauliY}) {
+                template_faults_.push_back(
+                    propagate({{op.q0, pauli}}, i + 1, 4.0 * p / 15.0));
+                template_faults_.push_back(
+                    propagate({{op.q1, pauli}}, i + 1, 4.0 * p / 15.0));
+            }
+            break;
+          case OpType::kMeasure: {
+            const int zi = z_index_[op.mslot];
+            if (zi >= 0) {
+                TemplateFault tf;
+                tf.prob = p;
+                tf.logical = false;
+                tf.dets = {{0, zi}, {1, zi}};
+                template_faults_.push_back(tf);
+            }
+            break;
+          }
+        }
+    }
+    // Drop no-op faults.
+    template_faults_.erase(
+        std::remove_if(template_faults_.begin(), template_faults_.end(),
+                       [](const TemplateFault& tf) {
+                           return tf.dets.empty() && !tf.logical;
+                       }),
+        template_faults_.end());
+}
+
+const std::vector<DemBuilder::TemplateFault>&
+DemBuilder::template_faults()
+{
+    enumerate_template();
+    return template_faults_;
+}
+
+DecodingGraph
+DemBuilder::build()
+{
+    enumerate_template();
+    dropped_ = 0;
+
+    // (u, v) -> prob by logical parity; v == n_nodes() encodes boundary.
+    std::unordered_map<uint64_t, std::pair<double, double>> acc;
+    auto add_fault = [&](const std::vector<int>& nodes, bool logical,
+                         double prob) {
+        if (nodes.empty()) {
+            if (logical)
+                ++dropped_;  // undetectable logical fault
+            return;
+        }
+        if (nodes.size() > 2) {
+            ++dropped_;
+            return;
+        }
+        int u = nodes[0];
+        int v = nodes.size() == 2 ? nodes[1] : n_nodes();
+        if (u > v)
+            std::swap(u, v);
+        const uint64_t key =
+            (static_cast<uint64_t>(u) << 32) | static_cast<uint32_t>(v);
+        auto& slot = acc[key];
+        if (logical)
+            slot.second += prob;
+        else
+            slot.first += prob;
+    };
+
+    std::vector<int> nodes;
+    for (int r = 0; r < rounds_; ++r) {
+        for (const TemplateFault& tf : template_faults_) {
+            nodes.clear();
+            bool in_range = true;
+            for (const auto& [layer, zi] : tf.dets) {
+                const int l = r + layer;
+                if (l > rounds_) {
+                    in_range = false;
+                    break;
+                }
+                nodes.push_back(node_id(l, zi));
+            }
+            if (!in_range)
+                continue;  // cannot happen (layer <= 1), defensive
+            add_fault(nodes, tf.logical, tf.prob);
+        }
+    }
+    // Final transversal-readout flips.
+    for (int q = 0; q < code_->n_data(); ++q) {
+        nodes.clear();
+        for (int c : code_->data_adjacency()[q]) {
+            if (z_index_[c] >= 0)
+                nodes.push_back(node_id(rounds_, z_index_[c]));
+        }
+        add_fault(nodes, logical_mask_[q] != 0, np_.p);
+    }
+
+    std::vector<GraphEdge> edges;
+    edges.reserve(acc.size());
+    for (const auto& [key, probs] : acc) {
+        const int u = static_cast<int>(key >> 32);
+        const int v = static_cast<int>(key & 0xFFFFFFFFu);
+        GraphEdge e;
+        e.u = u;
+        e.v = v == n_nodes() ? GraphEdge::kBoundary : v;
+        // Keep the more probable logical attribution for this edge.
+        e.logical = probs.second > probs.first;
+        e.prob = probs.first + probs.second;
+        edges.push_back(e);
+    }
+    return DecodingGraph(n_nodes(), std::move(edges));
+}
+
+}  // namespace gld

@@ -1,0 +1,82 @@
+#ifndef GLD_DECODE_DEM_BUILDER_H_
+#define GLD_DECODE_DEM_BUILDER_H_
+
+#include <vector>
+
+#include "circuit/round_circuit.h"
+#include "codes/css_code.h"
+#include "decode/decoding_graph.h"
+#include "noise/noise_model.h"
+
+namespace gld {
+
+/**
+ * Detector-error-model builder: exhaustively enumerates the single Pauli
+ * faults of the noisy syndrome-extraction circuit, propagates each through
+ * the round (data frames are static afterwards, so one template round plus
+ * the steady-state parity determines the full space-time footprint), and
+ * assembles the space-time decoding graph over Z-type detectors for a
+ * memory-Z experiment.
+ *
+ * Faults flipping one detector become boundary edges, two an internal
+ * edge; rarer hook faults flipping more are dropped (counted in
+ * dropped_hyperedges()) — the union-find decoder operates on graph edges,
+ * as is standard.  Leakage is deliberately NOT modeled: the decoder is
+ * leakage-unaware (the paper's premise), leakage enters only through the
+ * corrupted syndromes the simulator produces.
+ */
+class DemBuilder {
+  public:
+    DemBuilder(const CssCode& code, const RoundCircuit& rc,
+               const NoiseParams& np, int rounds);
+
+    /** Number of Z-type checks (detector columns). */
+    int nz() const { return static_cast<int>(z_checks_.size()); }
+    /** Total detector nodes: `rounds` syndrome layers + 1 final layer. */
+    int n_nodes() const { return (rounds_ + 1) * nz(); }
+    /** Node id of Z-detector column zidx at layer (round) `layer`. */
+    int node_id(int layer, int zidx) const { return layer * nz() + zidx; }
+    /** Z-column of check c, or -1 if c is an X check. */
+    int z_index(int check) const { return z_index_[check]; }
+
+    /** Builds the deduplicated decoding graph. */
+    DecodingGraph build();
+
+    int dropped_hyperedges() const { return dropped_; }
+
+    /**
+     * A single fault's footprint on the Z-detector template: flips at
+     * (layer offset 0/1, z column), plus the logical-observable flip.
+     */
+    struct TemplateFault {
+        std::vector<std::pair<int, int>> dets;
+        bool logical;
+        double prob;
+    };
+    /** The per-round fault templates (exposed for tests). */
+    const std::vector<TemplateFault>& template_faults();
+
+  private:
+    void enumerate_template();
+    TemplateFault propagate(const std::vector<std::pair<int, int>>& inject,
+                            size_t start_op, double prob);
+
+    const CssCode* code_;
+    const RoundCircuit* rc_;
+    NoiseParams np_;
+    int rounds_;
+    std::vector<int> z_checks_;
+    std::vector<int> z_index_;
+    std::vector<uint8_t> logical_mask_;
+    std::vector<TemplateFault> template_faults_;
+    bool template_built_ = false;
+    int dropped_ = 0;
+
+    // Scratch for propagation.
+    std::vector<uint8_t> fx_, fz_;
+    std::vector<int> touched_;
+};
+
+}  // namespace gld
+
+#endif  // GLD_DECODE_DEM_BUILDER_H_

@@ -1,0 +1,181 @@
+#include <cstddef>
+#include "decode/union_find.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gld {
+
+UnionFindDecoder::UnionFindDecoder(const DecodingGraph& graph)
+    : graph_(&graph)
+{
+    const int n = graph.n_nodes();
+    parent_.resize(n);
+    size_.resize(n);
+    parity_.resize(n);
+    boundary_.resize(n);
+    in_cluster_.resize(n);
+    frontier_.resize(n);
+    edge_added_.resize(graph.edges().size());
+}
+
+int
+UnionFindDecoder::find(int v)
+{
+    while (parent_[v] != v) {
+        parent_[v] = parent_[parent_[v]];
+        v = parent_[v];
+    }
+    return v;
+}
+
+void
+UnionFindDecoder::unite(int a, int b)
+{
+    a = find(a);
+    b = find(b);
+    if (a == b)
+        return;
+    if (size_[a] < size_[b])
+        std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    parity_[a] ^= parity_[b];
+    boundary_[a] |= boundary_[b];
+    if (frontier_[a].size() < frontier_[b].size())
+        frontier_[a].swap(frontier_[b]);
+    frontier_[a].insert(frontier_[a].end(), frontier_[b].begin(),
+                        frontier_[b].end());
+    frontier_[b].clear();
+    frontier_[b].shrink_to_fit();
+}
+
+bool
+UnionFindDecoder::decode(const std::vector<uint8_t>& syndrome)
+{
+    const auto& edges = graph_->edges();
+    const auto& incidence = graph_->incidence();
+    const int n = graph_->n_nodes();
+    assert(static_cast<int>(syndrome.size()) == n);
+
+    std::vector<int> defects;
+    for (int v = 0; v < n; ++v) {
+        parent_[v] = v;
+        size_[v] = 1;
+        parity_[v] = syndrome[v];
+        boundary_[v] = 0;
+        in_cluster_[v] = syndrome[v];
+        frontier_[v].clear();
+        if (syndrome[v]) {
+            defects.push_back(v);
+            frontier_[v] = incidence[v];
+        }
+    }
+    std::fill(edge_added_.begin(), edge_added_.end(), 0);
+    std::vector<int> added_edges;
+
+    // --- Growth. ---
+    std::vector<int> odd = defects;
+    while (!odd.empty()) {
+        std::vector<int> next;
+        for (int r : odd) {
+            r = find(r);
+            if (!parity_[r] || boundary_[r])
+                continue;
+            std::vector<int> fr = std::move(frontier_[r]);
+            frontier_[r].clear();
+            for (int e : fr) {
+                if (edge_added_[e])
+                    continue;
+                const GraphEdge& ge = edges[e];
+                edge_added_[e] = 1;
+                added_edges.push_back(e);
+                if (ge.v == GraphEdge::kBoundary) {
+                    boundary_[find(ge.u)] |= 1;
+                    continue;
+                }
+                for (int w : {ge.u, ge.v}) {
+                    if (!in_cluster_[w]) {
+                        in_cluster_[w] = 1;
+                        frontier_[w] = incidence[w];
+                    }
+                }
+                unite(ge.u, ge.v);
+            }
+            const int r2 = find(r);
+            if (parity_[r2] && !boundary_[r2])
+                next.push_back(r2);
+        }
+        std::sort(next.begin(), next.end());
+        next.erase(std::unique(next.begin(), next.end()), next.end());
+        // Remove entries that merged into satisfied clusters.
+        std::vector<int> still;
+        for (int r : next) {
+            if (find(r) == r && parity_[r] && !boundary_[r])
+                still.push_back(r);
+        }
+        odd = std::move(still);
+    }
+
+    // --- Peeling over the grown subgraph. ---
+    // Virtual boundary node id = n.
+    std::vector<std::vector<std::pair<int, int>>> adj(n + 1);
+    for (int e : added_edges) {
+        const GraphEdge& ge = edges[e];
+        const int v = ge.v == GraphEdge::kBoundary ? n : ge.v;
+        adj[ge.u].emplace_back(v, e);
+        adj[v].emplace_back(ge.u, e);
+    }
+    std::vector<uint8_t> visited(n + 1, 0);
+    std::vector<int> order;
+    std::vector<int> parent_edge(n + 1, -1);
+    std::vector<int> parent_node(n + 1, -1);
+    auto bfs = [&](int root) {
+        visited[root] = 1;
+        std::vector<int> queue = {root};
+        size_t head = 0;
+        while (head < queue.size()) {
+            const int v = queue[head++];
+            order.push_back(v);
+            for (const auto& [w, e] : adj[v]) {
+                if (!visited[w]) {
+                    visited[w] = 1;
+                    parent_edge[w] = e;
+                    parent_node[w] = v;
+                    queue.push_back(w);
+                }
+            }
+        }
+    };
+    bfs(n);  // clusters touching the boundary root at the boundary
+    for (int e : added_edges) {
+        const GraphEdge& ge = edges[e];
+        if (!visited[ge.u])
+            bfs(ge.u);
+        if (ge.v != GraphEdge::kBoundary && !visited[ge.v])
+            bfs(ge.v);
+    }
+
+    std::vector<uint8_t> defect(n + 1, 0);
+    for (int v = 0; v < n; ++v)
+        defect[v] = syndrome[v];
+    bool logical = false;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const int v = *it;
+        if (v == n || !defect[v])
+            continue;
+        const int e = parent_edge[v];
+        if (e < 0)
+            continue;  // unmatched defect (counted as residual below)
+        defect[v] = 0;
+        defect[parent_node[v]] ^= 1;
+        if (edges[e].logical)
+            logical = !logical;
+    }
+    residual_ = 0;
+    for (int v = 0; v < n; ++v)
+        residual_ += defect[v];
+    return logical;
+}
+
+}  // namespace gld

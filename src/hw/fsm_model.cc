@@ -1,0 +1,38 @@
+#include "hw/fsm_model.h"
+
+#include <cmath>
+
+namespace gld {
+
+int
+EraserFsmModel::luts(int d)
+{
+    // Regression against Table 3: per-qubit cost a + b * log2(d^2).
+    constexpr double kBase = 5.53;
+    constexpr double kRouting = 0.333;
+    const double n = static_cast<double>(d) * d;
+    return static_cast<int>(std::lround(n * (kBase + kRouting * std::log2(n))));
+}
+
+int
+EraserFsmModel::published(int d)
+{
+    switch (d) {
+      case 5:
+        return 177;
+      case 9:
+        return 633;
+      case 13:
+        return 1382;
+      case 17:
+        return 2434;
+      case 21:
+        return 3786;
+      case 25:
+        return 5393;
+      default:
+        return -1;
+    }
+}
+
+}  // namespace gld

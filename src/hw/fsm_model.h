@@ -1,0 +1,27 @@
+#ifndef GLD_HW_FSM_MODEL_H_
+#define GLD_HW_FSM_MODEL_H_
+
+namespace gld {
+
+/**
+ * ERASER's per-data-qubit finite-state-machine cost model.
+ *
+ * ERASER tracks syndrome history with a hand-crafted FSM per data qubit,
+ * so its LUT usage scales with the qubit count d^2 plus a routing term
+ * that grows logarithmically with the fabric size.  The two coefficients
+ * are regressed from the published Table 3 synthesis results
+ * (Kintex UltraScale+ xcku3p; re-synthesized by the paper for d up to 25);
+ * the model reproduces every published point within ~2.5%.
+ */
+class EraserFsmModel {
+  public:
+    /** LUTs per logical qubit at distance d. */
+    static int luts(int d);
+
+    /** Published Table 3 reference values (d = 5, 9, 13, 17, 21, 25). */
+    static int published(int d);
+};
+
+}  // namespace gld
+
+#endif  // GLD_HW_FSM_MODEL_H_

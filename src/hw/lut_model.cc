@@ -1,0 +1,41 @@
+#include "hw/lut_model.h"
+
+#include <cmath>
+
+namespace gld {
+
+int
+LutModel::dnf_luts(const std::vector<Cube>& cubes, int n_vars)
+{
+    if (cubes.empty())
+        return 0;
+    // Each product term over <= 6 literals fits one LUT6; wider terms need
+    // a small AND tree.  The OR combine packs 6 term outputs per LUT6.
+    int luts = 0;
+    for (const Cube& c : cubes) {
+        const int literals = n_vars - __builtin_popcount(c.dash_mask);
+        luts += literals <= 6 ? 1 : (literals + 4) / 5;  // cascaded AND
+    }
+    int fanin = static_cast<int>(cubes.size());
+    while (fanin > 1) {
+        const int ors = (fanin + 5) / 6;
+        luts += ors;
+        fanin = ors;
+    }
+    return luts;
+}
+
+LutReport
+LutModel::gladiator(int d, int checker_luts, double eval_ns,
+                    double deadline_ns)
+{
+    LutReport r;
+    r.luts_per_checker = checker_luts;
+    const double evals_per_checker = deadline_ns / eval_ns;
+    r.checkers = static_cast<int>(
+        std::ceil(static_cast<double>(d) * d / evals_per_checker));
+    r.total = r.luts_per_checker * r.checkers;
+    return r;
+}
+
+}  // namespace gld

@@ -1,0 +1,44 @@
+#ifndef GLD_HW_LUT_MODEL_H_
+#define GLD_HW_LUT_MODEL_H_
+
+#include <vector>
+
+#include "core/qm_minimizer.h"
+
+namespace gld {
+
+/** FPGA resource estimate for a GLADIATOR deployment (paper §4.4). */
+struct LutReport {
+    int luts_per_checker;  ///< sequence checker + adjacency-mux datapath
+    int checkers;          ///< replicas to meet the 100 ns deadline
+    int total;             ///< LUTs per logical qubit
+};
+
+/**
+ * LUT cost model for GLADIATOR's combinational sequence checker on a
+ * Kintex UltraScale+ style LUT6 fabric.
+ *
+ * The checker evaluates a minimized DNF over the tagged pattern bits; to
+ * cover all d^2 data qubits within the ~100 ns budget (four CNOT
+ * latencies) at ~1 ns per evaluation, the checker is replicated
+ * ceil(d^2 / 100) times — the paper's LUTs_total = 10 * ceil(d^2 / 100).
+ */
+class LutModel {
+  public:
+    /** LUT6 count for evaluating a DNF over n_vars inputs. */
+    static int dnf_luts(const std::vector<Cube>& cubes, int n_vars);
+
+    /**
+     * Full per-logical-qubit report for distance d.
+     * @param checker_luts LUTs of one checker (pattern logic + the
+     *        data-parity adjacency generator datapath); the paper's
+     *        calibrated figure is 10 for the 5-bit surface-code checker.
+     */
+    static LutReport gladiator(int d, int checker_luts = 10,
+                               double eval_ns = 1.0,
+                               double deadline_ns = 100.0);
+};
+
+}  // namespace gld
+
+#endif  // GLD_HW_LUT_MODEL_H_

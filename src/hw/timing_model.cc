@@ -1,0 +1,26 @@
+#include "hw/timing_model.h"
+
+namespace gld {
+
+double
+TimingModel::base_round_ns(const RoundCircuit& rc) const
+{
+    return rc.n_cnot_steps() * tp_.t_cnot_ns + 2.0 * tp_.t_h_ns +
+           tp_.t_meas_reset_ns;
+}
+
+double
+TimingModel::avg_round_ns(const RoundCircuit& rc,
+                          double lrcs_per_round_per_qubit) const
+{
+    return base_round_ns(rc) + lrcs_per_round_per_qubit * tp_.t_lrc_ns;
+}
+
+double
+TimingModel::depth_increase(const RoundCircuit& rc,
+                            double lrcs_per_round_per_qubit) const
+{
+    return lrcs_per_round_per_qubit * tp_.t_lrc_ns / base_round_ns(rc);
+}
+
+}  // namespace gld

@@ -1,0 +1,56 @@
+#ifndef GLD_HW_TIMING_MODEL_H_
+#define GLD_HW_TIMING_MODEL_H_
+
+#include "circuit/round_circuit.h"
+
+namespace gld {
+
+/** Superconducting-platform latencies (paper §4.4: four CNOTs ~ 100 ns). */
+struct TimingParams {
+    double t_cnot_ns = 25.0;
+    double t_h_ns = 10.0;
+    double t_meas_reset_ns = 300.0;
+    /** Added serial latency when a qubit undergoes a SWAP-based LRC. */
+    double t_lrc_ns = 100.0;
+};
+
+/**
+ * QEC cycle-time model (paper §7.4): the base round latency follows the
+ * scheduled circuit depth; LRCs extend a qubit's cycle by t_lrc, so the
+ * average cycle time grows with the per-qubit LRC rate and the
+ * LRC-attributable latency is proportional to the LRC count — the
+ * quantity Table 5's "QEC Cycle Time" reduction factors compare.
+ */
+class TimingModel {
+  public:
+    explicit TimingModel(TimingParams tp = {}) : tp_(tp) {}
+
+    /** Base round latency of the scheduled extraction circuit. */
+    double base_round_ns(const RoundCircuit& rc) const;
+
+    /**
+     * Average round latency including LRC extension.
+     * @param lrcs_per_round_per_qubit average LRC rate.
+     */
+    double avg_round_ns(const RoundCircuit& rc,
+                        double lrcs_per_round_per_qubit) const;
+
+    /** LRC-attributable latency per round (Table 5's cycle-time metric). */
+    double lrc_latency_ns(double lrcs_per_round) const
+    {
+        return lrcs_per_round * tp_.t_lrc_ns;
+    }
+
+    /** Relative execution-depth increase vs an LRC-free round (§7.5). */
+    double depth_increase(const RoundCircuit& rc,
+                          double lrcs_per_round_per_qubit) const;
+
+    const TimingParams& params() const { return tp_; }
+
+  private:
+    TimingParams tp_;
+};
+
+}  // namespace gld
+
+#endif  // GLD_HW_TIMING_MODEL_H_

@@ -1,0 +1,14 @@
+#include "noise/noise_model.h"
+
+namespace gld {
+
+NoiseParams
+NoiseParams::standard(double p, double lr)
+{
+    NoiseParams np;
+    np.p = p;
+    np.leak_ratio = lr;
+    return np;
+}
+
+}  // namespace gld

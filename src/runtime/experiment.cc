@@ -1,0 +1,241 @@
+#include <cstddef>
+#include "runtime/experiment.h"
+
+#include <thread>
+
+#include "core/policy_eraser.h"
+#include "core/policy_gladiator.h"
+#include "core/policy_static.h"
+#include "decode/dem_builder.h"
+#include "util/rng.h"
+
+namespace gld {
+
+ExperimentRunner::ExperimentRunner(const CodeContext& ctx,
+                                   const ExperimentConfig& cfg)
+    : ctx_(&ctx), cfg_(cfg)
+{
+    if (cfg_.compute_ler) {
+        DemBuilder dem(ctx.code(), ctx.rc(), cfg_.np, cfg_.rounds);
+        graph_ = std::make_shared<DecodingGraph>(dem.build());
+    }
+}
+
+Metrics
+ExperimentRunner::run_shots(const PolicyFactory& factory, uint64_t stream,
+                            int shots, const DecodingGraph* graph) const
+{
+    const CssCode& code = ctx_->code();
+    const int n_data = code.n_data();
+    const int n_checks = code.n_checks();
+
+    Metrics m;
+    m.rounds_per_shot = cfg_.rounds;
+    if (cfg_.record_dlp_series)
+        m.dlp_series.assign(cfg_.rounds, 0.0);
+
+    Rng master(cfg_.seed);
+    Rng shot_rng = master.split(stream * 2 + 1);
+    LeakFrameSim sim(code, ctx_->rc(), cfg_.np,
+                     master.split(stream * 2).next_u64());
+    std::unique_ptr<Policy> policy =
+        factory(*ctx_, master.split(stream * 3 + 7).next_u64());
+    policy->set_oracle(&sim);
+
+    std::unique_ptr<UnionFindDecoder> decoder;
+    std::vector<int> z_checks;
+    if (graph != nullptr) {
+        decoder = std::make_unique<UnionFindDecoder>(*graph);
+        z_checks = code.checks_of_type(CheckType::kZ);
+    }
+    const int nz = static_cast<int>(z_checks.size());
+
+    std::vector<int> sched_stamp(n_data, -1);
+    std::vector<uint8_t> syndrome;
+
+    for (int shot = 0; shot < shots; ++shot) {
+        sim.reset_shot();
+        policy->begin_shot();
+        if (cfg_.leakage_sampling)
+            sim.inject_data_leak(
+                static_cast<int>(shot_rng.uniform_int(n_data)));
+
+        if (graph != nullptr)
+            syndrome.assign(static_cast<size_t>(cfg_.rounds + 1) * nz, 0);
+
+        LrcSchedule sched;
+        RoundResult rr;
+        for (int r = 0; r < cfg_.rounds; ++r) {
+            // Account the LRCs about to be applied against ground truth.
+            for (int q : sched.data_qubits) {
+                if (sim.data_leaked(q))
+                    m.tp_total += 1;
+                else
+                    m.fp_total += 1;
+            }
+            m.lrc_data_total += static_cast<double>(sched.data_qubits.size());
+            m.lrc_check_total += static_cast<double>(sched.checks.size());
+
+            rr = sim.run_round(sched);
+            policy->observe(r, rr, &sched);
+
+            // False negatives: leaked data qubits the policy did not
+            // schedule for mitigation.
+            for (int q : sched.data_qubits)
+                sched_stamp[q] = r;
+            for (int q = 0; q < n_data; ++q) {
+                if (sim.data_leaked(q) && sched_stamp[q] != r)
+                    m.fn_total += 1;
+            }
+
+            const double dlp =
+                static_cast<double>(sim.n_data_leaked()) / n_data;
+            m.dlp_total += dlp;
+            if (cfg_.record_dlp_series)
+                m.dlp_series[r] += dlp;
+            m.check_leak_total +=
+                static_cast<double>(sim.n_check_leaked()) / n_checks;
+
+            if (graph != nullptr) {
+                for (int zi = 0; zi < nz; ++zi) {
+                    syndrome[static_cast<size_t>(r) * nz + zi] =
+                        rr.detector[z_checks[zi]];
+                }
+            }
+        }
+
+        if (graph != nullptr) {
+            const std::vector<uint8_t> flips = sim.final_data_measure();
+            for (int zi = 0; zi < nz; ++zi) {
+                uint8_t det = rr.meas_flip[z_checks[zi]];
+                for (int q : code.check(z_checks[zi]).support)
+                    det ^= flips[q];
+                syndrome[static_cast<size_t>(cfg_.rounds) * nz + zi] = det;
+            }
+            uint8_t observed = 0;
+            for (int q : code.logical_z())
+                observed ^= flips[q];
+            const bool predicted = decoder->decode(syndrome);
+            if ((observed != 0) != predicted)
+                ++m.logical_errors;
+            ++m.decoded_shots;
+        }
+        ++m.shots;
+    }
+    return m;
+}
+
+Metrics
+ExperimentRunner::run(const PolicyFactory& factory) const
+{
+    const int threads = std::max(1, cfg_.threads);
+    if (threads == 1 || cfg_.shots < 2 * threads)
+        return run_shots(factory, 0, cfg_.shots, graph_.get());
+
+    std::vector<Metrics> parts(threads);
+    std::vector<std::thread> pool;
+    const int per = cfg_.shots / threads;
+    int extra = cfg_.shots % threads;
+    int assigned = 0;
+    for (int t = 0; t < threads; ++t) {
+        const int n = per + (t < extra ? 1 : 0);
+        pool.emplace_back([this, &factory, &parts, t, n]() {
+            parts[t] = run_shots(factory, static_cast<uint64_t>(t) + 1, n,
+                                 graph_.get());
+        });
+        assigned += n;
+    }
+    for (auto& th : pool)
+        th.join();
+    Metrics m;
+    for (const Metrics& part : parts)
+        m.merge(part);
+    return m;
+}
+
+// --- PolicyZoo ---
+
+PolicyFactory
+PolicyZoo::no_lrc()
+{
+    return [](const CodeContext&, uint64_t) {
+        return std::make_unique<NoLrcPolicy>();
+    };
+}
+
+PolicyFactory
+PolicyZoo::always_lrc()
+{
+    return [](const CodeContext& ctx, uint64_t) {
+        return std::make_unique<AlwaysLrcPolicy>(ctx);
+    };
+}
+
+PolicyFactory
+PolicyZoo::staggered()
+{
+    return [](const CodeContext& ctx, uint64_t) {
+        return std::make_unique<StaggeredLrcPolicy>(ctx);
+    };
+}
+
+PolicyFactory
+PolicyZoo::mlr_only()
+{
+    return [](const CodeContext& ctx, uint64_t) {
+        return std::make_unique<MlrOnlyPolicy>(ctx);
+    };
+}
+
+PolicyFactory
+PolicyZoo::ideal()
+{
+    return [](const CodeContext& ctx, uint64_t) {
+        return std::make_unique<IdealPolicy>(ctx);
+    };
+}
+
+PolicyFactory
+PolicyZoo::eraser(bool use_mlr)
+{
+    return [use_mlr](const CodeContext& ctx, uint64_t) {
+        return std::make_unique<EraserPolicy>(ctx, use_mlr);
+    };
+}
+
+namespace {
+
+PolicyFactory
+make_gladiator_factory(bool use_mlr, const NoiseParams& np,
+                       const SpecModelOptions& opt, bool two_round)
+{
+    // Tables are rebuilt per policy instantiation (milliseconds): the
+    // factory may be reused across different codes/contexts, so caching
+    // by context address would alias recreated contexts.
+    return [use_mlr, np, opt, two_round](
+               const CodeContext& ctx, uint64_t) -> std::unique_ptr<Policy> {
+        auto tables = std::make_shared<const PatternTableSet>(
+            PatternTableSet::build(ctx, np, opt, two_round));
+        if (two_round)
+            return std::make_unique<GladiatorDPolicy>(ctx, tables, use_mlr);
+        return std::make_unique<GladiatorPolicy>(ctx, tables, use_mlr);
+    };
+}
+
+}  // namespace
+
+PolicyFactory
+PolicyZoo::gladiator(bool use_mlr, const NoiseParams& np,
+                     SpecModelOptions opt)
+{
+    return make_gladiator_factory(use_mlr, np, opt, /*two_round=*/false);
+}
+
+PolicyFactory
+PolicyZoo::gladiator_d(bool use_mlr, const NoiseParams& np,
+                       SpecModelOptions opt)
+{
+    return make_gladiator_factory(use_mlr, np, opt, /*two_round=*/true);
+}
+
+}  // namespace gld

@@ -1,0 +1,83 @@
+#ifndef GLD_RUNTIME_EXPERIMENT_H_
+#define GLD_RUNTIME_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+
+#include "core/code_context.h"
+#include "core/policy.h"
+#include "core/spec_model.h"
+#include "decode/union_find.h"
+#include "noise/noise_model.h"
+#include "runtime/metrics.h"
+
+namespace gld {
+
+/** Configuration of one memory experiment (code x policy x noise). */
+struct ExperimentConfig {
+    NoiseParams np;
+    int rounds = 10;
+    int shots = 100;
+    uint64_t seed = 0x5EED5EEDull;
+    /**
+     * Leakage sampling (paper §6): start every shot with at least one
+     * leaked data qubit so long-horizon DLP statistics converge with
+     * 100x fewer shots.
+     */
+    bool leakage_sampling = false;
+    /** Decode for LER (surface code / memory-Z only). */
+    bool compute_ler = false;
+    /** Record the per-round DLP series (Fig 10/11). */
+    bool record_dlp_series = false;
+    int threads = 1;
+};
+
+/** Builds a fresh policy; called once per worker thread. */
+using PolicyFactory = std::function<std::unique_ptr<Policy>(
+    const CodeContext& ctx, uint64_t seed)>;
+
+/**
+ * The memory-experiment runner: per shot it replays `rounds` noisy QEC
+ * rounds, feeding each round's syndrome + MLR to the policy and applying
+ * the scheduled LRCs at the start of the following round (closed-loop
+ * semantics), while accounting speculation accuracy against the
+ * simulator's ground-truth leakage state.  Optionally decodes the Z
+ * detectors with union-find for the logical error rate.
+ */
+class ExperimentRunner {
+  public:
+    ExperimentRunner(const CodeContext& ctx, const ExperimentConfig& cfg);
+
+    /** Runs the experiment under the given policy. */
+    Metrics run(const PolicyFactory& factory) const;
+
+    const CodeContext& ctx() const { return *ctx_; }
+    const ExperimentConfig& config() const { return cfg_; }
+
+  private:
+    Metrics run_shots(const PolicyFactory& factory, uint64_t stream,
+                      int shots, const DecodingGraph* graph) const;
+
+    const CodeContext* ctx_;
+    ExperimentConfig cfg_;
+    std::shared_ptr<DecodingGraph> graph_;  ///< built once if compute_ler
+};
+
+/** Convenience: factories for every policy the paper evaluates. */
+struct PolicyZoo {
+    static PolicyFactory no_lrc();
+    static PolicyFactory always_lrc();
+    static PolicyFactory staggered();
+    static PolicyFactory mlr_only();
+    static PolicyFactory ideal();
+    static PolicyFactory eraser(bool use_mlr);
+    /** Builds (and shares) the single-round tables at first use. */
+    static PolicyFactory gladiator(bool use_mlr, const NoiseParams& np,
+                                   SpecModelOptions opt = {});
+    static PolicyFactory gladiator_d(bool use_mlr, const NoiseParams& np,
+                                     SpecModelOptions opt = {});
+};
+
+}  // namespace gld
+
+#endif  // GLD_RUNTIME_EXPERIMENT_H_

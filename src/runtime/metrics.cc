@@ -1,0 +1,55 @@
+#include <cstddef>
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gld {
+
+void
+Metrics::merge(const Metrics& o)
+{
+    assert(rounds_per_shot == 0 || o.rounds_per_shot == 0 ||
+           rounds_per_shot == o.rounds_per_shot);
+    if (rounds_per_shot == 0)
+        rounds_per_shot = o.rounds_per_shot;
+    shots += o.shots;
+    fn_total += o.fn_total;
+    fp_total += o.fp_total;
+    tp_total += o.tp_total;
+    lrc_data_total += o.lrc_data_total;
+    lrc_check_total += o.lrc_check_total;
+    if (dlp_series.size() < o.dlp_series.size())
+        dlp_series.resize(o.dlp_series.size(), 0.0);
+    for (size_t i = 0; i < o.dlp_series.size(); ++i)
+        dlp_series[i] += o.dlp_series[i];
+    dlp_total += o.dlp_total;
+    check_leak_total += o.check_leak_total;
+    logical_errors += o.logical_errors;
+    decoded_shots += o.decoded_shots;
+}
+
+double
+Metrics::dlp_equilibrium(double tail_frac) const
+{
+    if (dlp_series.empty() || shots == 0)
+        return 0.0;
+    const size_t n = dlp_series.size();
+    const size_t start =
+        n - std::max<size_t>(1, static_cast<size_t>(tail_frac * n));
+    double sum = 0;
+    for (size_t i = start; i < n; ++i)
+        sum += dlp_series[i];
+    return sum / (static_cast<double>(n - start) * shots);
+}
+
+std::vector<double>
+Metrics::dlp_curve() const
+{
+    std::vector<double> out(dlp_series.size());
+    for (size_t i = 0; i < dlp_series.size(); ++i)
+        out[i] = shots > 0 ? dlp_series[i] / shots : 0.0;
+    return out;
+}
+
+}  // namespace gld

@@ -1,0 +1,81 @@
+#ifndef GLD_RUNTIME_METRICS_H_
+#define GLD_RUNTIME_METRICS_H_
+
+#include <vector>
+
+namespace gld {
+
+/**
+ * Aggregated results of a memory experiment under one policy — the paper's
+ * evaluation metrics (§7): speculation accuracy (FN/FP/TP), LRC usage,
+ * data-leakage population (DLP), and logical error rate (LER).
+ *
+ * Totals accumulate over shots; the accessors normalize.
+ */
+struct Metrics {
+    long shots = 0;
+    long rounds_per_shot = 0;
+
+    // Speculation accounting (per LRC-decision, data qubits only).
+    double fn_total = 0;  ///< leaked data qubits left unscheduled
+    double fp_total = 0;  ///< LRCs applied to non-leaked data qubits
+    double tp_total = 0;  ///< LRCs applied to leaked data qubits
+
+    // LRC usage.
+    double lrc_data_total = 0;
+    double lrc_check_total = 0;
+
+    // Leakage populations.
+    std::vector<double> dlp_series;  ///< per-round sum of DLP over shots
+    double dlp_total = 0;            ///< sum over shots and rounds
+    double check_leak_total = 0;
+
+    // Decoding.
+    long logical_errors = 0;
+    long decoded_shots = 0;
+
+    /** Merges another accumulator (thread reduction). */
+    void merge(const Metrics& o);
+
+    // --- Normalized views. ---
+    double denom() const
+    {
+        return static_cast<double>(shots) * rounds_per_shot;
+    }
+    /** Average counts per shot (the unit of the paper's Fig 9 bars). */
+    double fn_per_shot() const { return fn_total / shots; }
+    double fp_per_shot() const { return fp_total / shots; }
+    double lrc_per_shot() const
+    {
+        return (lrc_data_total + lrc_check_total) / shots;
+    }
+    /** Rates per data-qubit-round style normalizations. */
+    double fn_per_round() const { return fn_total / denom(); }
+    double fp_per_round() const { return fp_total / denom(); }
+    double lrc_data_per_round() const { return lrc_data_total / denom(); }
+    double lrc_all_per_round() const
+    {
+        return (lrc_data_total + lrc_check_total) / denom();
+    }
+    /** Mean data-leakage population (fraction of data qubits). */
+    double dlp_mean() const { return dlp_total / denom(); }
+    /** DLP averaged over the last `tail_frac` of rounds (equilibrium). */
+    double dlp_equilibrium(double tail_frac = 0.2) const;
+    /** DLP time series normalized per shot. */
+    std::vector<double> dlp_curve() const;
+    /** Speculation inaccuracy: (FN + FP) per round (Table 4). */
+    double spec_inaccuracy() const
+    {
+        return (fn_total + fp_total) / denom();
+    }
+    double ler() const
+    {
+        return decoded_shots > 0
+                   ? static_cast<double>(logical_errors) / decoded_shots
+                   : 0.0;
+    }
+};
+
+}  // namespace gld
+
+#endif  // GLD_RUNTIME_METRICS_H_

@@ -1,0 +1,130 @@
+#ifndef GLD_SIM_FRAME_SIM_H_
+#define GLD_SIM_FRAME_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/round_circuit.h"
+#include "codes/css_code.h"
+#include "noise/noise_model.h"
+#include "util/rng.h"
+
+namespace gld {
+
+/** Outcome of one QEC round, as seen by the controller. */
+struct RoundResult {
+    /** Measurement flip (vs the noiseless reference) per check. */
+    std::vector<uint8_t> meas_flip;
+    /** Detector bits: meas_flip XOR previous round's meas_flip. */
+    std::vector<uint8_t> detector;
+    /** Noisy multi-level-readout leak flags per check ancilla. */
+    std::vector<uint8_t> mlr_flag;
+};
+
+/** LRCs requested by a policy, applied at the start of the next round. */
+struct LrcSchedule {
+    std::vector<int> data_qubits;
+    std::vector<int> checks;  ///< ancillas, identified by check index
+    void clear()
+    {
+        data_qubits.clear();
+        checks.clear();
+    }
+    bool empty() const { return data_qubits.empty() && checks.empty(); }
+};
+
+/**
+ * Leakage-aware Pauli-frame simulator for repeated syndrome extraction.
+ *
+ * The computational-subspace part of the state is tracked as an X/Z Pauli
+ * frame relative to the noiseless reference execution (exactly what a
+ * stabilizer frame sampler computes for Pauli noise); leakage is tracked as
+ * a classical per-qubit flag with the gate-malfunction semantics calibrated
+ * in the paper's §2.3:
+ *
+ *  - CNOT with a leaked operand does not perform its coherent action; the
+ *    non-leaked partner receives a uniformly random Pauli.  If the control
+ *    is leaked, the leakage is instead transported to the target with
+ *    probability `mobility`.
+ *  - Two-level readout of a leaked qubit returns a uniformly random
+ *    outcome; MLR reports the true leak flag with symmetric error mlr*p.
+ *  - Measurement + reset do NOT clear leakage; only LRC gadgets do.
+ *  - A data-qubit LRC is a SWAP with a designated partner ancilla followed
+ *    by reset: it *exchanges* leakage with the partner (a false-positive
+ *    LRC against a leaked ancilla pumps leakage INTO the data qubit), then
+ *    applies gadget noise.  An ancilla LRC resets the ancilla's leakage.
+ */
+class LeakFrameSim {
+  public:
+    LeakFrameSim(const CssCode& code, const RoundCircuit& rc,
+                 const NoiseParams& np, uint64_t seed);
+
+    /** Clears all state for a new shot. */
+    void reset_shot();
+
+    /** Forces a data qubit into the leaked state (leakage sampling, §6). */
+    void inject_data_leak(int q) { leaked_[q] = 1; }
+    /** Forces an ancilla (by check index) into the leaked state. */
+    void inject_check_leak(int c) { leaked_[code_->ancilla_of(c)] = 1; }
+    /** Injects an X (bit-flip) error on a qubit (tests / fault studies). */
+    void inject_x(int q) { fx_[q] ^= 1; }
+    /** Injects a Z (phase-flip) error on a qubit. */
+    void inject_z(int q) { fz_[q] ^= 1; }
+    /** Clears a qubit's leak flag (tests). */
+    void clear_leak(int q) { leaked_[q] = 0; }
+
+    bool data_leaked(int q) const { return leaked_[q] != 0; }
+    bool check_leaked(int c) const
+    {
+        return leaked_[code_->ancilla_of(c)] != 0;
+    }
+    /** Number of currently-leaked data qubits. */
+    int n_data_leaked() const;
+    /** Number of currently-leaked ancilla qubits. */
+    int n_check_leaked() const;
+
+    /**
+     * Applies the scheduled LRC gadgets (start-of-round semantics), then
+     * executes one noisy syndrome-extraction round.
+     * @param lrcs gadgets decided by the policy after the previous round.
+     */
+    RoundResult run_round(const LrcSchedule& lrcs);
+
+    /**
+     * Transversal Z-basis readout of all data qubits at the end of the
+     * memory experiment.  Returns the per-qubit outcome flip (leaked qubits
+     * read out randomly).
+     */
+    std::vector<uint8_t> final_data_measure();
+
+    Rng& rng() { return rng_; }
+    const NoiseParams& noise() const { return np_; }
+
+    /** The LRC partner ancilla (check index) used for data qubit q. */
+    int lrc_partner(int q) const { return lrc_partner_[q]; }
+
+  private:
+    void apply_lrc_data(int q);
+    void apply_lrc_check(int c);
+    void depolarize1(int q);
+    void depolarize2(int q0, int q1);
+    void leak_maybe(int q);
+    void cnot(int control, int target);
+    void malfunction(int partner, bool is_control);
+
+    const CssCode* code_;
+    const RoundCircuit* rc_;
+    NoiseParams np_;
+    Rng rng_;
+
+    std::vector<uint8_t> fx_;      ///< X-frame bit per qubit
+    std::vector<uint8_t> fz_;      ///< Z-frame bit per qubit
+    std::vector<uint8_t> leaked_;  ///< leak flag per qubit
+    std::vector<uint8_t> prev_meas_;
+    std::vector<int> lrc_partner_;
+    bool first_round_ = true;
+};
+
+}  // namespace gld
+
+#endif  // GLD_SIM_FRAME_SIM_H_

@@ -1,0 +1,72 @@
+#ifndef GLD_SIM_TABLEAU_SIM_H_
+#define GLD_SIM_TABLEAU_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gld {
+
+/**
+ * Aaronson-Gottesman CHP stabilizer tableau simulator.
+ *
+ * This is the validation substrate (the paper uses Stim's tableau engine for
+ * the same purpose): it simulates the exact stabilizer state, so tests can
+ * cross-check the Pauli-frame simulator's circuit semantics — noiseless
+ * syndrome determinism, the detector signature of injected Pauli errors,
+ * and stabilizer-group membership of the code checks.
+ *
+ * Row convention: rows [0, n) are destabilizers, rows [n, 2n) stabilizers.
+ */
+class TableauSim {
+  public:
+    explicit TableauSim(int n_qubits, uint64_t seed = 1);
+
+    int n() const { return n_; }
+
+    void h(int q);
+    void s(int q);
+    void cnot(int control, int target);
+    void x(int q);
+    void z(int q);
+    void y(int q);
+
+    /**
+     * Z-basis measurement.
+     * @param forced_random  if non-null and the outcome is random, *forced*
+     *        is used instead of the RNG (for deterministic tests).
+     * @param was_random     optionally reports whether the outcome was
+     *        random (state not in a Z eigenstate).
+     */
+    bool measure_z(int q, bool* was_random = nullptr,
+                   const bool* forced_random = nullptr);
+
+    /** Measure-and-conditionally-flip reset to |0>. */
+    void reset_z(int q);
+
+    /**
+     * Returns the expectation of a Z-product observable over `support`:
+     * +1, -1, or 0 if the observable is not in the stabilizer group
+     * (random outcome).
+     */
+    int z_product_expectation(const std::vector<int>& support);
+
+  private:
+    bool xbit(int row, int q) const;
+    bool zbit(int row, int q) const;
+    void set_xbit(int row, int q, bool v);
+    void set_zbit(int row, int q, bool v);
+    void rowsum(int h, int i);
+    int row_phase_exponent(int h, int i) const;
+
+    int n_;
+    int words_;
+    std::vector<uint64_t> xs_, zs_;  ///< [row * words_ + w]
+    std::vector<uint8_t> r_;         ///< phase bit per row
+    Rng rng_;
+};
+
+}  // namespace gld
+
+#endif  // GLD_SIM_TABLEAU_SIM_H_

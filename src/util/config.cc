@@ -1,0 +1,41 @@
+#include "util/config.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace gld {
+
+double
+BenchConfig::scale()
+{
+    const char* s = std::getenv("GLD_SHOTS_SCALE");
+    if (s == nullptr)
+        return 1.0;
+    const double v = std::atof(s);
+    return v > 0 ? v : 1.0;
+}
+
+int
+BenchConfig::shots(int base)
+{
+    const double v = scale() * base;
+    return std::max(1, static_cast<int>(v));
+}
+
+int
+BenchConfig::threads()
+{
+    const char* s = std::getenv("GLD_THREADS");
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw <= 0)
+        hw = 1;
+    if (s != nullptr) {
+        const int v = std::atoi(s);
+        if (v > 0)
+            return std::min(v, 64);
+    }
+    return hw;
+}
+
+}  // namespace gld

@@ -1,0 +1,25 @@
+#ifndef GLD_UTIL_CONFIG_H_
+#define GLD_UTIL_CONFIG_H_
+
+#include <cstdint>
+
+namespace gld {
+
+/**
+ * Environment-driven knobs shared by the benchmark harness.
+ *
+ * GLD_SHOTS_SCALE — multiplies every bench's default shot count (default 1).
+ * GLD_THREADS    — caps worker threads (default: hardware concurrency).
+ */
+struct BenchConfig {
+    /** Scales a default shot count by GLD_SHOTS_SCALE (min 1 shot). */
+    static int shots(int base);
+    /** Worker thread count honouring GLD_THREADS. */
+    static int threads();
+    /** The raw scale factor. */
+    static double scale();
+};
+
+}  // namespace gld
+
+#endif  // GLD_UTIL_CONFIG_H_

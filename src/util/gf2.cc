@@ -1,0 +1,124 @@
+#include "util/gf2.h"
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+namespace gld {
+
+Gf2Matrix::Gf2Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols), words_per_row_((cols + 63) / 64),
+      data_(static_cast<size_t>(rows) * words_per_row_, 0)
+{
+}
+
+bool
+Gf2Matrix::get(int r, int c) const
+{
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return (data_[static_cast<size_t>(r) * words_per_row_ + c / 64] >>
+            (c % 64)) & 1ull;
+}
+
+void
+Gf2Matrix::set(int r, int c, bool v)
+{
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    uint64_t& w = data_[static_cast<size_t>(r) * words_per_row_ + c / 64];
+    const uint64_t mask = 1ull << (c % 64);
+    if (v)
+        w |= mask;
+    else
+        w &= ~mask;
+}
+
+void
+Gf2Matrix::flip(int r, int c)
+{
+    data_[static_cast<size_t>(r) * words_per_row_ + c / 64] ^=
+        1ull << (c % 64);
+}
+
+void
+Gf2Matrix::xor_rows(int dst, int src)
+{
+    uint64_t* d = &data_[static_cast<size_t>(dst) * words_per_row_];
+    const uint64_t* s = &data_[static_cast<size_t>(src) * words_per_row_];
+    for (int w = 0; w < words_per_row_; ++w)
+        d[w] ^= s[w];
+}
+
+int
+Gf2Matrix::rank() const
+{
+    Gf2Matrix m = *this;
+    int rank = 0;
+    for (int c = 0; c < m.cols_ && rank < m.rows_; ++c) {
+        int pivot = -1;
+        for (int r = rank; r < m.rows_; ++r) {
+            if (m.get(r, c)) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0)
+            continue;
+        if (pivot != rank) {
+            // Swap rows by XOR trick-free approach: explicit word swap.
+            for (int w = 0; w < m.words_per_row_; ++w) {
+                std::swap(
+                    m.data_[static_cast<size_t>(pivot) * m.words_per_row_ + w],
+                    m.data_[static_cast<size_t>(rank) * m.words_per_row_ + w]);
+            }
+        }
+        for (int r = 0; r < m.rows_; ++r) {
+            if (r != rank && m.get(r, c))
+                m.xor_rows(r, rank);
+        }
+        ++rank;
+    }
+    return rank;
+}
+
+Gf2Matrix
+Gf2Matrix::mul_transpose(const Gf2Matrix& other) const
+{
+    assert(cols_ == other.cols_);
+    Gf2Matrix out(rows_, other.rows_);
+    for (int i = 0; i < rows_; ++i) {
+        const uint64_t* a = &data_[static_cast<size_t>(i) * words_per_row_];
+        for (int j = 0; j < other.rows_; ++j) {
+            const uint64_t* b =
+                &other.data_[static_cast<size_t>(j) * other.words_per_row_];
+            uint64_t acc = 0;
+            for (int w = 0; w < words_per_row_; ++w)
+                acc ^= a[w] & b[w];
+            out.set(i, j, __builtin_popcountll(acc) & 1);
+        }
+    }
+    return out;
+}
+
+bool
+Gf2Matrix::is_zero() const
+{
+    for (uint64_t w : data_) {
+        if (w != 0)
+            return false;
+    }
+    return true;
+}
+
+Gf2Matrix
+Gf2Matrix::from_supports(const std::vector<std::vector<int>>& supports,
+                         int cols)
+{
+    Gf2Matrix m(static_cast<int>(supports.size()), cols);
+    for (size_t r = 0; r < supports.size(); ++r) {
+        for (int c : supports[r])
+            m.set(static_cast<int>(r), c, true);
+    }
+    return m;
+}
+
+}  // namespace gld

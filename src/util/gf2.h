@@ -1,0 +1,52 @@
+#ifndef GLD_UTIL_GF2_H_
+#define GLD_UTIL_GF2_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gld {
+
+/**
+ * Dense GF(2) matrix with row-major 64-bit word packing.
+ *
+ * Used for CSS-code validity checks (HX * HZ^T = 0), rank/dimension
+ * computations (k = n - rank(HX) - rank(HZ)) and logical-operator tests.
+ */
+class Gf2Matrix {
+  public:
+    Gf2Matrix() = default;
+    Gf2Matrix(int rows, int cols);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    bool get(int r, int c) const;
+    void set(int r, int c, bool v);
+    void flip(int r, int c);
+
+    /** XORs row `src` into row `dst`. */
+    void xor_rows(int dst, int src);
+
+    /** Returns the rank via Gaussian elimination (copy, non-destructive). */
+    int rank() const;
+
+    /** Returns this * other^T over GF(2). */
+    Gf2Matrix mul_transpose(const Gf2Matrix& other) const;
+
+    /** True if every entry is zero. */
+    bool is_zero() const;
+
+    /** Builds from row supports (list of set column indices per row). */
+    static Gf2Matrix from_supports(
+        const std::vector<std::vector<int>>& supports, int cols);
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    int words_per_row_ = 0;
+    std::vector<uint64_t> data_;
+};
+
+}  // namespace gld
+
+#endif  // GLD_UTIL_GF2_H_

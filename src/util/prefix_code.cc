@@ -1,0 +1,73 @@
+#include "util/prefix_code.h"
+
+#include <cassert>
+
+namespace gld {
+
+PrefixTagCodec::PrefixTagCodec(int max_bits) : max_bits_(max_bits)
+{
+    assert(max_bits >= 1 && max_bits <= 30);
+}
+
+uint32_t
+PrefixTagCodec::encode(uint32_t pattern, int k) const
+{
+    assert(k >= 1 && k <= max_bits_);
+    assert(pattern < (1u << k));
+    const int n = tagged_bits();
+    // Unary tag: (max_bits - k) ones followed by a zero, then the pattern
+    // with slot 0 as the leftmost pattern bit.
+    uint32_t tagged = 0;
+    int pos = n - 1;  // leftmost bit position
+    for (int i = 0; i < max_bits_ - k; ++i)
+        tagged |= 1u << pos--;
+    // The separator zero.
+    --pos;
+    for (int i = 0; i < k; ++i) {
+        if ((pattern >> i) & 1u)
+            tagged |= 1u << pos;
+        --pos;
+    }
+    return tagged;
+}
+
+bool
+PrefixTagCodec::decode(uint32_t tagged, uint32_t* pattern, int* k) const
+{
+    const int n = tagged_bits();
+    if (tagged >= (1u << n))
+        return false;
+    int pos = n - 1;
+    int ones = 0;
+    while (pos >= 0 && ((tagged >> pos) & 1u)) {
+        ++ones;
+        --pos;
+    }
+    if (pos < 0)
+        return false;  // all ones: no separator zero
+    const int kk = max_bits_ - ones;
+    if (kk < 1)
+        return false;
+    --pos;  // consume the separator zero
+    if (pos + 1 != kk)
+        return false;  // remaining width must equal the pattern width
+    uint32_t pat = 0;
+    for (int i = 0; i < kk; ++i) {
+        if ((tagged >> (kk - 1 - i)) & 1u)
+            pat |= 1u << i;
+    }
+    *pattern = pat;
+    *k = kk;
+    return true;
+}
+
+std::string
+PrefixTagCodec::to_string(uint32_t tagged) const
+{
+    std::string s;
+    for (int pos = tagged_bits() - 1; pos >= 0; --pos)
+        s.push_back(((tagged >> pos) & 1u) ? '1' : '0');
+    return s;
+}
+
+}  // namespace gld

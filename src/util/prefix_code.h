@@ -1,0 +1,54 @@
+#ifndef GLD_UTIL_PREFIX_CODE_H_
+#define GLD_UTIL_PREFIX_CODE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gld {
+
+/**
+ * Unary index-tag codec for variable-length syndrome patterns (paper §4.4,
+ * Appendix B.1).
+ *
+ * Data qubits in a code touch between 1 and `max_bits` checks, so their
+ * syndrome patterns have different widths.  GLADIATOR's sequence checker
+ * normalizes them to a single width `max_bits + 1` by prepending a unary tag:
+ * a k-bit pattern is encoded as (max_bits - k) ones, then a 0, then the k
+ * pattern bits.  For max_bits = 4: 4-bit -> "0"+bits, 3-bit -> "10"+bits,
+ * 2-bit -> "110"+bits, matching the paper exactly.
+ *
+ * Bit convention: within the tagged word, bit (tagged_bits()-1) is the first
+ * (leftmost) character of the string form; the raw pattern occupies the low
+ * k bits with bit 0 the last-measured slot... concretely, pattern bit i
+ * (slot order, i = 0 is the earliest CNOT slot) maps to tagged bit
+ * (k - 1 - i), i.e. the string reads slots left-to-right.
+ */
+class PrefixTagCodec {
+  public:
+    /** @param max_bits widest raw pattern supported (>= 1). */
+    explicit PrefixTagCodec(int max_bits);
+
+    int max_bits() const { return max_bits_; }
+    /** Width of every tagged word. */
+    int tagged_bits() const { return max_bits_ + 1; }
+
+    /**
+     * Encodes a k-bit raw pattern into the uniform tagged word.
+     * @param pattern raw bits; bit i = slot i (earliest CNOT first).
+     * @param k number of valid bits in `pattern` (1 <= k <= max_bits).
+     */
+    uint32_t encode(uint32_t pattern, int k) const;
+
+    /** Recovers (pattern, k) from a tagged word; returns false if invalid. */
+    bool decode(uint32_t tagged, uint32_t* pattern, int* k) const;
+
+    /** String form of a tagged word, MSB first (paper's x4 x3 x2 x1 x0). */
+    std::string to_string(uint32_t tagged) const;
+
+  private:
+    int max_bits_;
+};
+
+}  // namespace gld
+
+#endif  // GLD_UTIL_PREFIX_CODE_H_

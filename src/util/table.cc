@@ -1,0 +1,73 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gld {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::add_row(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::sci(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::to_string() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        os << "|";
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : std::string();
+            os << " " << cell << std::string(widths[c] - cell.size(), ' ')
+               << " |";
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    os << "|";
+    for (size_t c = 0; c < widths.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto& row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(to_string().c_str(), stdout);
+}
+
+}  // namespace gld

@@ -1,0 +1,38 @@
+#ifndef GLD_UTIL_TABLE_H_
+#define GLD_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace gld {
+
+/**
+ * Minimal markdown-style table printer used by the benchmark harness to emit
+ * the paper's rows/series in a uniform, diffable format.
+ */
+class TablePrinter {
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Appends a row; missing cells are padded, extras truncated. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Convenience: formats doubles with the given precision. */
+    static std::string fmt(double v, int precision = 4);
+    /** Scientific notation, for LER-style numbers. */
+    static std::string sci(double v, int precision = 2);
+
+    /** Renders the table as github-flavoured markdown. */
+    std::string to_string() const;
+
+    /** Prints to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gld
+
+#endif  // GLD_UTIL_TABLE_H_

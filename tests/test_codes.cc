@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "codes/bpc_code.h"
+#include "codes/color_code.h"
+#include "codes/hgp_code.h"
+#include "codes/surface_code.h"
+
+namespace gld {
+namespace {
+
+// --- Surface code ---
+
+class SurfaceCodeStructure : public ::testing::TestWithParam<int> {};
+
+TEST_P(SurfaceCodeStructure, CountsAndValidity)
+{
+    const int d = GetParam();
+    const CssCode code = SurfaceCode::make(d);
+    EXPECT_EQ(code.n_data(), d * d);
+    EXPECT_EQ(code.n_checks(), d * d - 1);
+    EXPECT_EQ(code.n_qubits(), 2 * d * d - 1);  // paper §2.2
+    EXPECT_EQ(static_cast<int>(code.checks_of_type(CheckType::kX).size()),
+              (d * d - 1) / 2);
+    EXPECT_TRUE(code.css_valid());
+    EXPECT_EQ(code.k_logical(), 1);
+    EXPECT_EQ(static_cast<int>(code.logical_z().size()), d);
+    EXPECT_EQ(static_cast<int>(code.logical_x().size()), d);
+}
+
+TEST_P(SurfaceCodeStructure, LogicalsCommuteWithStabilizers)
+{
+    const int d = GetParam();
+    const CssCode code = SurfaceCode::make(d);
+    // Logical Z must overlap every X check evenly; logical X every Z check.
+    for (const auto& c : code.checks()) {
+        const auto& logical =
+            c.type == CheckType::kX ? code.logical_z() : code.logical_x();
+        int overlap = 0;
+        for (int q : c.support)
+            overlap += std::count(logical.begin(), logical.end(), q) > 0;
+        EXPECT_EQ(overlap % 2, 0);
+    }
+    // Logical X and Z anticommute: odd intersection.
+    int inter = 0;
+    for (int q : code.logical_x())
+        inter += std::count(code.logical_z().begin(), code.logical_z().end(),
+                            q) > 0;
+    EXPECT_EQ(inter % 2, 1);
+}
+
+TEST_P(SurfaceCodeStructure, BulkDataQubitsTouchFourChecks)
+{
+    const int d = GetParam();
+    const CssCode code = SurfaceCode::make(d);
+    int four = 0;
+    for (int q = 0; q < code.n_data(); ++q) {
+        const size_t deg = code.data_adjacency()[q].size();
+        EXPECT_GE(deg, 2u);
+        EXPECT_LE(deg, 4u);
+        four += deg == 4;
+    }
+    // All interior qubits have degree 4.
+    EXPECT_GE(four, (d - 2) * (d - 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, SurfaceCodeStructure,
+                         ::testing::Values(3, 5, 7, 9, 11));
+
+TEST(SurfaceCode, CheckWeightsAreTwoOrFour)
+{
+    const CssCode code = SurfaceCode::make(5);
+    for (const auto& c : code.checks()) {
+        EXPECT_TRUE(c.support.size() == 2 || c.support.size() == 4);
+    }
+}
+
+// --- Color code ---
+
+class ColorCodeStructure : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColorCodeStructure, CountsAndValidity)
+{
+    const int d = GetParam();
+    const CssCode code = ColorCode::make(d);
+    EXPECT_EQ(code.n_data(), (3 * d * d + 1) / 4);  // paper §5.1
+    // One X + one Z check per face.
+    EXPECT_EQ(code.checks_of_type(CheckType::kX).size(),
+              code.checks_of_type(CheckType::kZ).size());
+    EXPECT_TRUE(code.css_valid());
+    EXPECT_EQ(code.k_logical(), 1);
+    EXPECT_EQ(static_cast<int>(code.logical_z().size()), d);
+}
+
+TEST_P(ColorCodeStructure, FaceWeightsAndQubitDegrees)
+{
+    const int d = GetParam();
+    const CssCode code = ColorCode::make(d);
+    for (const auto& c : code.checks())
+        EXPECT_TRUE(c.support.size() == 4 || c.support.size() == 6);
+    // Data qubits touch 1-3 faces => 2-6 checks (X+Z per face); the paper's
+    // 1/2/3-bit patterns come from the Z checks alone.
+    for (int q = 0; q < code.n_data(); ++q) {
+        const size_t deg = code.data_adjacency()[q].size();
+        EXPECT_GE(deg, 2u);
+        EXPECT_LE(deg, 6u);
+        EXPECT_EQ(deg % 2, 0u);  // X/Z pairs
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, ColorCodeStructure,
+                         ::testing::Values(3, 5, 7, 9));
+
+TEST(ColorCode, DistanceSevenUsesThirtySevenQubits)
+{
+    // Paper: "a code distance-7 color code 6.6.6 requires only 37 qubits
+    // compared to 97 qubits for a distance-7 surface code".
+    EXPECT_EQ(ColorCode::make(7).n_data(), 37);
+    EXPECT_EQ(SurfaceCode::make(7).n_qubits(), 97);
+}
+
+// --- HGP code ---
+
+TEST(HgpCode, HammingProductDimensions)
+{
+    const CssCode code = HgpCode::make_hamming();
+    EXPECT_EQ(code.n_data(), 7 * 7 + 3 * 3);  // 58
+    EXPECT_EQ(static_cast<int>(code.checks_of_type(CheckType::kX).size()),
+              3 * 7);
+    EXPECT_EQ(static_cast<int>(code.checks_of_type(CheckType::kZ).size()),
+              7 * 3);
+    EXPECT_TRUE(code.css_valid());
+    // k = k1*k2 for full-rank H with no transpose code: 4*4 = 16.
+    EXPECT_EQ(code.k_logical(), 16);
+}
+
+TEST(HgpCode, IrregularDataDegrees)
+{
+    const CssCode code = HgpCode::make_hamming();
+    size_t min_deg = 100, max_deg = 0;
+    for (int q = 0; q < code.n_data(); ++q) {
+        const size_t deg = code.data_adjacency()[q].size();
+        min_deg = std::min(min_deg, deg);
+        max_deg = std::max(max_deg, deg);
+    }
+    // The irregular connectivity the paper's generalizability story needs.
+    EXPECT_LT(min_deg, max_deg);
+    EXPECT_GE(min_deg, 2u);
+    EXPECT_LE(max_deg, 8u);
+}
+
+// --- BPC code ---
+
+TEST(BpcCode, DefaultInstance)
+{
+    const CssCode code = BpcCode::make_default();
+    EXPECT_EQ(code.n_data(), 30);
+    EXPECT_EQ(code.n_checks(), 30);
+    EXPECT_TRUE(code.css_valid());
+    // gcd(1+x+x^2, 1+x^5+x^10, x^15-1) = x^2+x+1 -> k = 4.
+    EXPECT_EQ(code.k_logical(), 4);
+}
+
+TEST(BpcCode, DataDegreeSixMatchesAppendixB2)
+{
+    // Weight-3 circulants give every data qubit 3 X + 3 Z checks: the
+    // 6-bit (7-bit tagged) patterns of Appendix B.2.
+    const CssCode code = BpcCode::make_default();
+    for (int q = 0; q < code.n_data(); ++q)
+        EXPECT_EQ(code.data_adjacency()[q].size(), 6u);
+}
+
+TEST(BpcCode, CssValidForAnyCirculantPair)
+{
+    // Circulant commutativity makes every polynomial pair CSS-valid.
+    const CssCode code = BpcCode::make(9, {0, 2, 3}, {0, 1, 7}, "bpc_test");
+    EXPECT_TRUE(code.css_valid());
+}
+
+}  // namespace
+}  // namespace gld

@@ -1,0 +1,122 @@
+// Cross-validation of the Pauli-frame simulator against the exact CHP
+// tableau simulator (the role Stim's tableau engine plays in the paper's
+// methodology): both engines execute the same scheduled extraction circuit
+// and must agree on syndrome determinism and fault signatures.
+
+#include <gtest/gtest.h>
+
+#include "circuit/round_circuit.h"
+#include "codes/surface_code.h"
+#include "sim/frame_sim.h"
+#include "sim/tableau_sim.h"
+
+namespace gld {
+namespace {
+
+/** Executes one extraction round on the tableau sim, returning outcomes. */
+std::vector<bool>
+tableau_round(TableauSim* sim, const RoundCircuit& rc, int n_checks)
+{
+    std::vector<bool> meas(n_checks, false);
+    for (const Op& op : rc.ops()) {
+        switch (op.type) {
+          case OpType::kResetZ:
+            sim->reset_z(op.q0);
+            break;
+          case OpType::kH:
+            sim->h(op.q0);
+            break;
+          case OpType::kCnot:
+            sim->cnot(op.q0, op.q1);
+            break;
+          case OpType::kMeasure:
+            meas[op.mslot] = sim->measure_z(op.q0);
+            break;
+        }
+    }
+    return meas;
+}
+
+TEST(CrossValidation, NoiselessSyndromesAreDeterministicAfterRoundOne)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    TableauSim sim(code.n_qubits(), 123);
+    const auto r1 = tableau_round(&sim, rc, code.n_checks());
+    const auto r2 = tableau_round(&sim, rc, code.n_checks());
+    const auto r3 = tableau_round(&sim, rc, code.n_checks());
+    // Z checks of |0...0> are deterministic 0 from the start.
+    for (int c = 0; c < code.n_checks(); ++c) {
+        if (code.check(c).type == CheckType::kZ) {
+            EXPECT_FALSE(r1[c]);
+            EXPECT_FALSE(r2[c]);
+        }
+        // All checks repeat exactly from round 2 on (no noise).
+        EXPECT_EQ(r2[c], r3[c]);
+    }
+}
+
+TEST(CrossValidation, StabilizersAreInGroupAfterOneRound)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    TableauSim sim(code.n_qubits(), 5);
+    tableau_round(&sim, rc, code.n_checks());
+    // After projection, every Z stabilizer is a definite +/-1; with all-zero
+    // initialization it must be +1.
+    for (const auto& check : code.checks()) {
+        if (check.type == CheckType::kZ)
+            EXPECT_EQ(sim.z_product_expectation(check.support), +1);
+    }
+    // The logical Z observable is +1 as well (encoded |0>).
+    EXPECT_EQ(sim.z_product_expectation(code.logical_z()), +1);
+}
+
+TEST(CrossValidation, XFaultSignatureAgreesBetweenEngines)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+
+    for (int q = 0; q < code.n_data(); ++q) {
+        // Tableau: prepare, inject X, extract, compare measurement flips.
+        TableauSim tab(code.n_qubits(), 77);
+        const auto before = tableau_round(&tab, rc, code.n_checks());
+        tab.x(q);
+        const auto after = tableau_round(&tab, rc, code.n_checks());
+
+        // Frame sim, noiseless, same injection.
+        NoiseParams np;
+        np.p = 0.0;
+        np.leak_ratio = 0.0;
+        LeakFrameSim frame(code, rc, np, 3);
+        LrcSchedule none;
+        frame.run_round(none);
+        frame.inject_x(q);
+        const RoundResult rr = frame.run_round(none);
+
+        for (int c = 0; c < code.n_checks(); ++c) {
+            EXPECT_EQ(before[c] != after[c], rr.detector[c] != 0)
+                << "qubit " << q << " check " << c;
+        }
+    }
+}
+
+TEST(CrossValidation, LogicalXFlipsLogicalObservable)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    TableauSim sim(code.n_qubits(), 9);
+    tableau_round(&sim, rc, code.n_checks());
+    for (int q : code.logical_x())
+        sim.x(q);
+    // A logical X anticommutes with logical Z but commutes with all
+    // stabilizers: syndromes stay quiet, observable flips.
+    EXPECT_EQ(sim.z_product_expectation(code.logical_z()), -1);
+    for (const auto& check : code.checks()) {
+        if (check.type == CheckType::kZ)
+            EXPECT_EQ(sim.z_product_expectation(check.support), +1);
+    }
+}
+
+}  // namespace
+}  // namespace gld

@@ -1,0 +1,175 @@
+#include "runtime/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/surface_code.h"
+
+namespace gld {
+namespace {
+
+struct Harness {
+    CssCode code;
+    RoundCircuit rc;
+    CodeContext ctx;
+
+    explicit Harness(int d)
+        : code(SurfaceCode::make(d)), rc(code),
+          ctx(code, rc, PatternScope::kBothTypes)
+    {
+    }
+};
+
+TEST(ExperimentRunner, DeterministicForSameSeed)
+{
+    Harness h(3);
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard();
+    cfg.rounds = 20;
+    cfg.shots = 30;
+    cfg.seed = 42;
+    ExperimentRunner runner(h.ctx, cfg);
+    const Metrics a = runner.run(PolicyZoo::eraser(true));
+    const Metrics b = runner.run(PolicyZoo::eraser(true));
+    EXPECT_DOUBLE_EQ(a.fn_total, b.fn_total);
+    EXPECT_DOUBLE_EQ(a.fp_total, b.fp_total);
+    EXPECT_DOUBLE_EQ(a.lrc_data_total, b.lrc_data_total);
+    EXPECT_DOUBLE_EQ(a.dlp_total, b.dlp_total);
+}
+
+TEST(ExperimentRunner, IdealPolicyHasNoFalseNegatives)
+{
+    Harness h(3);
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(1e-3, 1.0);
+    cfg.rounds = 30;
+    cfg.shots = 50;
+    cfg.leakage_sampling = true;
+    ExperimentRunner runner(h.ctx, cfg);
+    const Metrics m = runner.run(PolicyZoo::ideal());
+    EXPECT_DOUBLE_EQ(m.fn_total, 0.0);
+    EXPECT_DOUBLE_EQ(m.fp_total, 0.0);
+    EXPECT_GT(m.tp_total, 0.0);
+}
+
+TEST(ExperimentRunner, NoLrcPolicyAppliesNoLrcs)
+{
+    Harness h(3);
+    ExperimentConfig cfg;
+    cfg.rounds = 10;
+    cfg.shots = 10;
+    ExperimentRunner runner(h.ctx, cfg);
+    const Metrics m = runner.run(PolicyZoo::no_lrc());
+    EXPECT_DOUBLE_EQ(m.lrc_data_total, 0.0);
+    EXPECT_DOUBLE_EQ(m.lrc_check_total, 0.0);
+    EXPECT_DOUBLE_EQ(m.fp_total, 0.0);
+}
+
+TEST(ExperimentRunner, AlwaysLrcCountsEveryQubitEveryRound)
+{
+    Harness h(3);
+    ExperimentConfig cfg;
+    cfg.np.p = 0.0;
+    cfg.np.leak_ratio = 0.0;
+    cfg.rounds = 5;
+    cfg.shots = 2;
+    ExperimentRunner runner(h.ctx, cfg);
+    const Metrics m = runner.run(PolicyZoo::always_lrc());
+    // First round has no scheduled LRCs (decisions lag one round).
+    EXPECT_DOUBLE_EQ(m.lrc_data_total, 2.0 * 4 * h.code.n_data());
+    EXPECT_DOUBLE_EQ(m.lrc_check_total, 2.0 * 4 * h.code.n_checks());
+}
+
+TEST(ExperimentRunner, LeakageSamplingStartsLeaked)
+{
+    Harness h(3);
+    ExperimentConfig cfg;
+    cfg.np.p = 0;
+    cfg.np.leak_ratio = 0;
+    cfg.np.mobility = 0;  // keep the injected leak on the data qubit
+    cfg.rounds = 1;
+    cfg.shots = 20;
+    cfg.leakage_sampling = true;
+    cfg.record_dlp_series = true;
+    ExperimentRunner runner(h.ctx, cfg);
+    const Metrics m = runner.run(PolicyZoo::no_lrc());
+    // With zero noise and no mitigation the injected leak persists:
+    // DLP = 1/n_data every round.
+    EXPECT_NEAR(m.dlp_mean(), 1.0 / h.code.n_data(), 1e-12);
+}
+
+TEST(ExperimentRunner, DlpSeriesMatchesTotals)
+{
+    Harness h(3);
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(1e-3, 1.0);
+    cfg.rounds = 15;
+    cfg.shots = 20;
+    cfg.leakage_sampling = true;
+    cfg.record_dlp_series = true;
+    ExperimentRunner runner(h.ctx, cfg);
+    const Metrics m = runner.run(PolicyZoo::eraser(true));
+    ASSERT_EQ(static_cast<int>(m.dlp_series.size()), cfg.rounds);
+    double sum = 0;
+    for (double v : m.dlp_series)
+        sum += v;
+    EXPECT_NEAR(sum, m.dlp_total, 1e-9);
+}
+
+TEST(ExperimentRunner, LerDecodingRunsAndIsBounded)
+{
+    Harness h(3);
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard();
+    cfg.rounds = 6;
+    cfg.shots = 200;
+    cfg.compute_ler = true;
+    ExperimentRunner runner(h.ctx, cfg);
+    const Metrics m = runner.run(PolicyZoo::gladiator(true, cfg.np));
+    EXPECT_EQ(m.decoded_shots, 200);
+    EXPECT_LT(m.ler(), 0.30);  // far below random guessing
+}
+
+TEST(ExperimentRunner, NoiselessLerIsZero)
+{
+    Harness h(3);
+    ExperimentConfig cfg;
+    cfg.np.p = 0;
+    cfg.np.leak_ratio = 0;
+    cfg.rounds = 5;
+    cfg.shots = 50;
+    cfg.compute_ler = true;
+    ExperimentRunner runner(h.ctx, cfg);
+    const Metrics m = runner.run(PolicyZoo::no_lrc());
+    EXPECT_EQ(m.logical_errors, 0);
+}
+
+TEST(ExperimentRunner, GladiatorFlagsFewerFalsePositivesThanEraser)
+{
+    // The paper's central claim (Fig 9) at test scale.
+    Harness h(5);
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard();
+    cfg.rounds = 40;
+    cfg.shots = 120;
+    cfg.leakage_sampling = true;
+    ExperimentRunner runner(h.ctx, cfg);
+    const Metrics er = runner.run(PolicyZoo::eraser(true));
+    const Metrics gl = runner.run(PolicyZoo::gladiator(true, cfg.np));
+    EXPECT_LT(gl.fp_total, er.fp_total);
+    EXPECT_LT(gl.lrc_data_total, er.lrc_data_total);
+}
+
+TEST(ExperimentRunner, ThreadedRunMergesAllShots)
+{
+    Harness h(3);
+    ExperimentConfig cfg;
+    cfg.rounds = 10;
+    cfg.shots = 40;
+    cfg.threads = 4;
+    ExperimentRunner runner(h.ctx, cfg);
+    const Metrics m = runner.run(PolicyZoo::eraser(true));
+    EXPECT_EQ(m.shots, 40);
+}
+
+}  // namespace
+}  // namespace gld

@@ -1,0 +1,71 @@
+#include "util/gf2.h"
+
+#include <gtest/gtest.h>
+
+namespace gld {
+namespace {
+
+TEST(Gf2Matrix, SetGetFlip)
+{
+    Gf2Matrix m(3, 130);  // crosses word boundaries
+    EXPECT_FALSE(m.get(1, 127));
+    m.set(1, 127, true);
+    EXPECT_TRUE(m.get(1, 127));
+    m.flip(1, 127);
+    EXPECT_FALSE(m.get(1, 127));
+    m.set(2, 129, true);
+    EXPECT_TRUE(m.get(2, 129));
+    EXPECT_FALSE(m.get(2, 128));
+}
+
+TEST(Gf2Matrix, RankIdentity)
+{
+    Gf2Matrix m(5, 5);
+    for (int i = 0; i < 5; ++i)
+        m.set(i, i, true);
+    EXPECT_EQ(m.rank(), 5);
+}
+
+TEST(Gf2Matrix, RankDependentRows)
+{
+    // Row2 = row0 + row1.
+    Gf2Matrix m = Gf2Matrix::from_supports({{0, 1}, {1, 2}, {0, 2}}, 4);
+    EXPECT_EQ(m.rank(), 2);
+}
+
+TEST(Gf2Matrix, RankZero)
+{
+    Gf2Matrix m(4, 4);
+    EXPECT_EQ(m.rank(), 0);
+    EXPECT_TRUE(m.is_zero());
+}
+
+TEST(Gf2Matrix, MulTranspose)
+{
+    // A = [110; 011], B = [101]; A*B^T = [1; 1].
+    Gf2Matrix a = Gf2Matrix::from_supports({{0, 1}, {1, 2}}, 3);
+    Gf2Matrix b = Gf2Matrix::from_supports({{0, 2}}, 3);
+    Gf2Matrix p = a.mul_transpose(b);
+    EXPECT_EQ(p.rows(), 2);
+    EXPECT_EQ(p.cols(), 1);
+    EXPECT_TRUE(p.get(0, 0));
+    EXPECT_TRUE(p.get(1, 0));
+}
+
+TEST(Gf2Matrix, MulTransposeOrthogonal)
+{
+    // Rows with even overlap: product must be zero.
+    Gf2Matrix a = Gf2Matrix::from_supports({{0, 1, 2, 3}}, 4);
+    Gf2Matrix b = Gf2Matrix::from_supports({{0, 1}, {2, 3}, {0, 3}}, 4);
+    EXPECT_TRUE(a.mul_transpose(b).is_zero());
+}
+
+TEST(Gf2Matrix, HammingRankIsThree)
+{
+    const std::vector<std::vector<int>> h = {
+        {0, 2, 4, 6}, {1, 2, 5, 6}, {3, 4, 5, 6}};
+    EXPECT_EQ(Gf2Matrix::from_supports(h, 7).rank(), 3);
+}
+
+}  // namespace
+}  // namespace gld

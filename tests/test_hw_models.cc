@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "codes/surface_code.h"
+#include "hw/fsm_model.h"
+#include "hw/lut_model.h"
+#include "hw/timing_model.h"
+
+namespace gld {
+namespace {
+
+TEST(LutModel, GladiatorTotalsMatchPaperTable3)
+{
+    // Table 3: GLADIATOR LUTs per logical qubit = 10 * ceil(d^2/100).
+    const std::vector<std::pair<int, int>> expected = {
+        {5, 10}, {9, 10}, {13, 20}, {17, 30}, {21, 50}, {25, 70}};
+    for (const auto& [d, luts] : expected)
+        EXPECT_EQ(LutModel::gladiator(d).total, luts) << "d=" << d;
+}
+
+TEST(LutModel, DnfLutCounts)
+{
+    // One cube over <= 6 literals: one LUT, no OR stage.
+    std::vector<Cube> one = {{0b101, 0b000}};
+    EXPECT_EQ(LutModel::dnf_luts(one, 3), 1);
+    // Seven cubes: 7 AND LUTs + 2 OR LUTs (6+1 -> 2 -> 1).
+    std::vector<Cube> seven(7, Cube{0, 0});
+    EXPECT_EQ(LutModel::dnf_luts(seven, 5), 7 + 2 + 1);
+    EXPECT_EQ(LutModel::dnf_luts({}, 5), 0);
+}
+
+TEST(EraserFsmModel, MatchesPublishedWithinTolerance)
+{
+    for (int d : {5, 9, 13, 17, 21, 25}) {
+        const double published = EraserFsmModel::published(d);
+        const double model = EraserFsmModel::luts(d);
+        EXPECT_NEAR(model / published, 1.0, 0.03) << "d=" << d;
+    }
+}
+
+TEST(EraserFsmModel, ReductionFactorAtLeastSeventeen)
+{
+    // Table 3's headline: 17x-81x fewer LUTs for GLADIATOR.
+    for (int d : {5, 9, 13, 17, 21, 25}) {
+        const double ratio =
+            static_cast<double>(EraserFsmModel::luts(d)) /
+            LutModel::gladiator(d).total;
+        EXPECT_GE(ratio, 17.0) << "d=" << d;
+        EXPECT_LE(ratio, 90.0) << "d=" << d;
+    }
+}
+
+TEST(TimingModel, BaseRoundLatency)
+{
+    const CssCode code = SurfaceCode::make(5);
+    const RoundCircuit rc(code);
+    TimingModel tm;
+    // 8 CNOT steps (phase-separated schedule) * 25 + 2 H * 10 + 300.
+    EXPECT_DOUBLE_EQ(tm.base_round_ns(rc),
+                     rc.n_cnot_steps() * 25.0 + 20.0 + 300.0);
+    EXPECT_GT(tm.avg_round_ns(rc, 0.5), tm.base_round_ns(rc));
+}
+
+TEST(TimingModel, AlwaysLrcDepthIncreaseNearTwentyPercent)
+{
+    // §7.5: always-lrc (one LRC per qubit per round) increases execution
+    // depth by ~20%.
+    const CssCode code = SurfaceCode::make(11);
+    const RoundCircuit rc(code);
+    TimingModel tm;
+    EXPECT_NEAR(tm.depth_increase(rc, 1.0), 0.20, 0.06);
+}
+
+TEST(TimingModel, LrcLatencyProportionalToCount)
+{
+    TimingModel tm;
+    EXPECT_DOUBLE_EQ(tm.lrc_latency_ns(2.0), 2.0 * tm.params().t_lrc_ns);
+    EXPECT_DOUBLE_EQ(tm.lrc_latency_ns(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace gld

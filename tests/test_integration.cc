@@ -1,0 +1,117 @@
+// End-to-end integration sweep: every code family x every policy runs a
+// short memory experiment and produces sane metrics.
+
+#include <gtest/gtest.h>
+
+#include "codes/bpc_code.h"
+#include "codes/color_code.h"
+#include "codes/hgp_code.h"
+#include "codes/surface_code.h"
+#include "runtime/experiment.h"
+
+namespace gld {
+namespace {
+
+struct Combo {
+    const char* code;
+    const char* policy;
+};
+
+class CodePolicyMatrix : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(CodePolicyMatrix, RunsAndProducesSaneMetrics)
+{
+    const Combo combo = GetParam();
+    CssCode code = [&]() {
+        const std::string name = combo.code;
+        if (name == "surface")
+            return SurfaceCode::make(3);
+        if (name == "color")
+            return ColorCode::make(3);
+        if (name == "hgp")
+            return HgpCode::make_hamming();
+        return BpcCode::make_default();
+    }();
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(1e-3, 1.0);
+    cfg.rounds = 15;
+    cfg.shots = 25;
+    cfg.leakage_sampling = true;
+    cfg.record_dlp_series = true;
+    ExperimentRunner runner(ctx, cfg);
+
+    PolicyFactory factory = [&]() -> PolicyFactory {
+        const std::string p = combo.policy;
+        if (p == "no_lrc")
+            return PolicyZoo::no_lrc();
+        if (p == "always")
+            return PolicyZoo::always_lrc();
+        if (p == "staggered")
+            return PolicyZoo::staggered();
+        if (p == "mlr")
+            return PolicyZoo::mlr_only();
+        if (p == "ideal")
+            return PolicyZoo::ideal();
+        if (p == "eraser")
+            return PolicyZoo::eraser(true);
+        if (p == "gladiator")
+            return PolicyZoo::gladiator(true, cfg.np);
+        return PolicyZoo::gladiator_d(true, cfg.np);
+    }();
+
+    const Metrics m = runner.run(factory);
+    EXPECT_EQ(m.shots, cfg.shots);
+    EXPECT_GE(m.dlp_mean(), 0.0);
+    EXPECT_LE(m.dlp_mean(), 1.0);
+    EXPECT_GE(m.fn_total, 0.0);
+    EXPECT_GE(m.fp_total, 0.0);
+    // LRC counts are consistent: every data LRC is a TP or FP.
+    EXPECT_NEAR(m.lrc_data_total, m.tp_total + m.fp_total, 1e-9);
+}
+
+constexpr Combo kCombos[] = {
+    {"surface", "no_lrc"},   {"surface", "always"},
+    {"surface", "staggered"}, {"surface", "mlr"},
+    {"surface", "ideal"},    {"surface", "eraser"},
+    {"surface", "gladiator"}, {"surface", "gladiator_d"},
+    {"color", "no_lrc"},     {"color", "always"},
+    {"color", "staggered"},  {"color", "mlr"},
+    {"color", "ideal"},      {"color", "eraser"},
+    {"color", "gladiator"},  {"color", "gladiator_d"},
+    {"hgp", "eraser"},       {"hgp", "gladiator"},
+    {"hgp", "ideal"},        {"hgp", "staggered"},
+    {"bpc", "eraser"},       {"bpc", "gladiator"},
+    {"bpc", "gladiator_d"},  {"bpc", "always"},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, CodePolicyMatrix, ::testing::ValuesIn(kCombos),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+        return std::string(info.param.code) + "_" + info.param.policy;
+    });
+
+TEST(Integration, MitigationBeatsNoMitigationOnLeakage)
+{
+    // Long-horizon sanity: any mitigation keeps DLP below NO-LRC.
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(1e-3, 1.0);
+    cfg.rounds = 80;
+    cfg.shots = 60;
+    cfg.leakage_sampling = true;
+    ExperimentRunner runner(ctx, cfg);
+    const double none = runner.run(PolicyZoo::no_lrc()).dlp_mean();
+    const double ideal = runner.run(PolicyZoo::ideal()).dlp_mean();
+    const double eraser = runner.run(PolicyZoo::eraser(true)).dlp_mean();
+    EXPECT_LT(ideal, none);
+    EXPECT_LT(eraser, none);
+    EXPECT_LE(ideal, eraser * 1.5);  // oracle is at least competitive
+}
+
+}  // namespace
+}  // namespace gld

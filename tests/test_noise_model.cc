@@ -1,0 +1,45 @@
+#include "noise/noise_model.h"
+
+#include <gtest/gtest.h>
+
+namespace gld {
+namespace {
+
+TEST(NoiseParams, DerivedQuantities)
+{
+    NoiseParams np = NoiseParams::standard(1e-3, 0.1);
+    EXPECT_DOUBLE_EQ(np.pl(), 1e-4);
+    EXPECT_DOUBLE_EQ(np.mlr_err(), 1e-2);
+    EXPECT_DOUBLE_EQ(np.lrc_depol(), 3e-3);
+    // LRC leakage = absolute gadget cost + gate-induced part.
+    EXPECT_DOUBLE_EQ(np.lrc_leak(), np.lrc_leak_prob + 3.0 * np.pl());
+}
+
+TEST(NoiseParams, StandardPresetsScaleWithP)
+{
+    NoiseParams a = NoiseParams::standard(1e-3, 0.1);
+    NoiseParams b = NoiseParams::standard(1e-4, 0.1);
+    EXPECT_DOUBLE_EQ(a.pl() / b.pl(), 10.0);
+    EXPECT_DOUBLE_EQ(a.mlr_err() / b.mlr_err(), 10.0);
+}
+
+TEST(NoiseParams, LeakRatioSweep)
+{
+    // Table 4's lr sweep: pl spans two decades at fixed p.
+    const double p = 1e-3;
+    EXPECT_DOUBLE_EQ(NoiseParams::standard(p, 0.01).pl(), 1e-5);
+    EXPECT_DOUBLE_EQ(NoiseParams::standard(p, 1.0).pl(), 1e-3);
+}
+
+TEST(NoiseParams, PaperDefaults)
+{
+    // §6: lr = 0.1, mlr = 10, mobility 10%.
+    NoiseParams np;
+    EXPECT_DOUBLE_EQ(np.leak_ratio, 0.1);
+    EXPECT_DOUBLE_EQ(np.mlr_ratio, 10.0);
+    EXPECT_DOUBLE_EQ(np.mobility, 0.1);
+    EXPECT_FALSE(np.leaked_gate_backaction);
+}
+
+}  // namespace
+}  // namespace gld

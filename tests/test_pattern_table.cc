@@ -1,0 +1,113 @@
+#include "core/pattern_table.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/bpc_code.h"
+#include "codes/color_code.h"
+#include "codes/surface_code.h"
+
+namespace gld {
+namespace {
+
+TEST(PatternTableSet, TablesMatchLabeler)
+{
+    const CssCode code = SurfaceCode::make(5);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    const NoiseParams np = NoiseParams::standard();
+    const SpecModelOptions opt;
+    const PatternTableSet tables =
+        PatternTableSet::build(ctx, np, opt, false);
+    ASSERT_EQ(tables.n_classes(), ctx.n_classes());
+    for (int c = 0; c < ctx.n_classes(); ++c) {
+        const auto flags = SpecModel::label(
+            SpecModel::single_round(ctx.classes()[c], np, opt),
+            opt.threshold);
+        ASSERT_EQ(tables.table(c).size(), flags.size());
+        for (size_t s = 0; s < flags.size(); ++s)
+            EXPECT_EQ(tables.is_leak(c, static_cast<uint32_t>(s)),
+                      flags[s] != 0);
+    }
+}
+
+TEST(PatternTableSet, SurfaceCodeClassWidths)
+{
+    const CssCode code = SurfaceCode::make(5);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    EXPECT_EQ(ctx.max_degree(), 4);
+    for (int q = 0; q < code.n_data(); ++q) {
+        const int k = ctx.degree_of(q);
+        EXPECT_GE(k, 2);
+        EXPECT_LE(k, 4);
+    }
+}
+
+TEST(PatternTableSet, ColorCodeZOnlyWidths)
+{
+    // Color code: 3-bit bulk, 2-bit edge, 1-bit corner (paper §5.1).
+    const CssCode code = ColorCode::make(5);
+    const RoundCircuit rc(code);
+    EXPECT_EQ(CodeContext::default_scope(code), PatternScope::kZOnly);
+    const CodeContext ctx(code, rc, PatternScope::kZOnly);
+    EXPECT_EQ(ctx.max_degree(), 3);
+    int ones = 0, twos = 0, threes = 0;
+    for (int q = 0; q < code.n_data(); ++q) {
+        switch (ctx.degree_of(q)) {
+          case 1:
+            ++ones;
+            break;
+          case 2:
+            ++twos;
+            break;
+          case 3:
+            ++threes;
+            break;
+          default:
+            FAIL() << "unexpected degree";
+        }
+    }
+    EXPECT_GT(ones, 0);
+    EXPECT_GT(twos, 0);
+    EXPECT_GT(threes, 0);
+}
+
+TEST(PatternTableSet, BpcUsesBothTypesWithDegreeSix)
+{
+    const CssCode code = BpcCode::make_default();
+    const RoundCircuit rc(code);
+    EXPECT_EQ(CodeContext::default_scope(code), PatternScope::kBothTypes);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    EXPECT_EQ(ctx.max_degree(), 6);
+}
+
+TEST(PatternTableSet, TwoRoundTableSizes)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    const PatternTableSet tables = PatternTableSet::build(
+        ctx, NoiseParams::standard(), {}, /*two_round=*/true);
+    for (int c = 0; c < ctx.n_classes(); ++c) {
+        EXPECT_EQ(tables.bits(c), 2 * ctx.classes()[c].k_obs);
+        EXPECT_EQ(tables.table(c).size(),
+                  1u << (2 * ctx.classes()[c].k_obs));
+    }
+}
+
+TEST(PatternTableSet, PatternOfExtractsSlotOrderedBits)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    const int q = 4;  // bulk qubit
+    const auto& checks = ctx.observed_checks(q);
+    ASSERT_EQ(checks.size(), 4u);
+    std::vector<uint8_t> det(code.n_checks(), 0);
+    det[checks[0]] = 1;
+    det[checks[2]] = 1;
+    EXPECT_EQ(ctx.pattern_of(q, det), 0b0101u);
+}
+
+}  // namespace
+}  // namespace gld

@@ -1,0 +1,73 @@
+#include "util/prefix_code.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gld {
+namespace {
+
+TEST(PrefixTagCodec, PaperExamples)
+{
+    // Paper §4.4: max 4-bit patterns become 5-bit words: 4-bit patterns get
+    // a "0" prefix, 3-bit "10", 2-bit "110".
+    PrefixTagCodec codec(4);
+    EXPECT_EQ(codec.tagged_bits(), 5);
+    EXPECT_EQ(codec.to_string(codec.encode(0b1001, 4)), "01001");
+    EXPECT_EQ(codec.to_string(codec.encode(0b101, 3)), "10101");
+    EXPECT_EQ(codec.to_string(codec.encode(0b11, 2)), "11011");
+}
+
+TEST(PrefixTagCodec, AppendixB1Widths)
+{
+    // Appendix B.1: "6-bit patterns are padded to 7 bits with a leading 0,
+    // 5-bit patterns with 10".
+    PrefixTagCodec codec(6);
+    EXPECT_EQ(codec.tagged_bits(), 7);
+    EXPECT_EQ(codec.to_string(codec.encode(0b111111, 6))[0], '0');
+    EXPECT_EQ(codec.to_string(codec.encode(0b11111, 5)).substr(0, 2), "10");
+}
+
+TEST(PrefixTagCodec, BitOrderIsSlotOrder)
+{
+    PrefixTagCodec codec(4);
+    // Raw bit 0 = earliest slot = leftmost pattern character.
+    EXPECT_EQ(codec.to_string(codec.encode(0b0001, 4)), "01000");
+    EXPECT_EQ(codec.to_string(codec.encode(0b1000, 4)), "00001");
+}
+
+class PrefixRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixRoundTrip, EncodeDecodeAllPatternsNoCollision)
+{
+    const int max_bits = GetParam();
+    PrefixTagCodec codec(max_bits);
+    std::vector<int> seen(1 << codec.tagged_bits(), 0);
+    for (int k = 1; k <= max_bits; ++k) {
+        for (uint32_t pat = 0; pat < (1u << k); ++pat) {
+            const uint32_t tagged = codec.encode(pat, k);
+            ASSERT_LT(tagged, 1u << codec.tagged_bits());
+            ASSERT_EQ(seen[tagged], 0) << "tag collision";
+            seen[tagged] = 1;
+            uint32_t out_pat = 0;
+            int out_k = 0;
+            ASSERT_TRUE(codec.decode(tagged, &out_pat, &out_k));
+            EXPECT_EQ(out_pat, pat);
+            EXPECT_EQ(out_k, k);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PrefixRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(PrefixTagCodec, DecodeRejectsInvalid)
+{
+    PrefixTagCodec codec(4);
+    uint32_t pat;
+    int k;
+    EXPECT_FALSE(codec.decode(0b11111, &pat, &k));  // all ones: no separator
+}
+
+}  // namespace
+}  // namespace gld

@@ -1,0 +1,121 @@
+#include "core/qm_minimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gld {
+namespace {
+
+TEST(QmMinimizer, SingleMinterm)
+{
+    const auto cubes = QmMinimizer::minimize(3, {0b101});
+    ASSERT_EQ(cubes.size(), 1u);
+    EXPECT_TRUE(QmMinimizer::eval(cubes, 0b101));
+    EXPECT_FALSE(QmMinimizer::eval(cubes, 0b100));
+}
+
+TEST(QmMinimizer, MergesAdjacentMinterms)
+{
+    // f = x1 (minterms 010, 011, 110, 111 over 3 vars).
+    const auto cubes = QmMinimizer::minimize(3, {0b010, 0b011, 0b110, 0b111});
+    ASSERT_EQ(cubes.size(), 1u);
+    EXPECT_EQ(cubes[0].value, 0b010u);
+    EXPECT_EQ(cubes[0].dash_mask, 0b101u);
+    EXPECT_EQ(QmMinimizer::cube_to_string(cubes[0], 3), "(x1)");
+}
+
+TEST(QmMinimizer, ConstantTrue)
+{
+    std::vector<uint32_t> all;
+    for (uint32_t i = 0; i < 8; ++i)
+        all.push_back(i);
+    const auto cubes = QmMinimizer::minimize(3, all);
+    ASSERT_EQ(cubes.size(), 1u);
+    EXPECT_EQ(cubes[0].dash_mask, 0b111u);
+}
+
+TEST(QmMinimizer, EmptyOnset)
+{
+    EXPECT_TRUE(QmMinimizer::minimize(4, {}).empty());
+    EXPECT_EQ(QmMinimizer::to_string({}, 4), "0");
+}
+
+TEST(QmMinimizer, DontCaresEnableLargerCubes)
+{
+    // onset {00}, dontcare {01}: minimizes to !x1 (one eliminated var).
+    const auto cubes = QmMinimizer::minimize(2, {0b00}, {0b01});
+    ASSERT_EQ(cubes.size(), 1u);
+    EXPECT_EQ(__builtin_popcount(cubes[0].dash_mask), 1);
+}
+
+TEST(QmMinimizer, ColorCodeExactlyTwoOfThree)
+{
+    // The paper's Appendix B.3 color-code pattern: exactly two of three
+    // bits set -> three 3-literal product terms.
+    const auto cubes = QmMinimizer::minimize(3, {0b011, 0b101, 0b110});
+    EXPECT_EQ(cubes.size(), 3u);
+    for (const Cube& c : cubes)
+        EXPECT_EQ(c.dash_mask, 0u);  // no merging possible
+}
+
+class QmRandomFunctions : public ::testing::TestWithParam<int> {};
+
+TEST_P(QmRandomFunctions, MinimizedDnfIsEquivalent)
+{
+    const int n = 5;
+    Rng rng(1000 + GetParam());
+    std::vector<uint8_t> truth(1u << n);
+    std::vector<uint32_t> onset;
+    for (uint32_t x = 0; x < (1u << n); ++x) {
+        truth[x] = rng.bernoulli(0.4);
+        if (truth[x])
+            onset.push_back(x);
+    }
+    const auto cubes = QmMinimizer::minimize(n, onset);
+    for (uint32_t x = 0; x < (1u << n); ++x)
+        ASSERT_EQ(QmMinimizer::eval(cubes, x), truth[x] != 0) << "x=" << x;
+    // Minimization should never need more cubes than minterms.
+    EXPECT_LE(cubes.size(), onset.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QmRandomFunctions, ::testing::Range(0, 12));
+
+TEST(QmMinimizer, RandomFunctionsWithDontCares)
+{
+    const int n = 6;
+    Rng rng(77);
+    for (int trial = 0; trial < 5; ++trial) {
+        std::vector<uint32_t> onset, dc;
+        std::vector<int> kind(1u << n);
+        for (uint32_t x = 0; x < (1u << n); ++x) {
+            const double u = rng.uniform();
+            if (u < 0.3) {
+                kind[x] = 1;
+                onset.push_back(x);
+            } else if (u < 0.5) {
+                kind[x] = 2;
+                dc.push_back(x);
+            }
+        }
+        const auto cubes = QmMinimizer::minimize(n, onset, dc);
+        for (uint32_t x = 0; x < (1u << n); ++x) {
+            if (kind[x] == 1)
+                ASSERT_TRUE(QmMinimizer::eval(cubes, x));
+            else if (kind[x] == 0)
+                ASSERT_FALSE(QmMinimizer::eval(cubes, x));
+            // don't-cares may be either
+        }
+    }
+}
+
+TEST(QmMinimizer, ExpressionRendering)
+{
+    const auto cubes = QmMinimizer::minimize(3, {0b011, 0b101, 0b110});
+    const std::string s = QmMinimizer::to_string(cubes, 3);
+    EXPECT_NE(s.find(" | "), std::string::npos);
+    EXPECT_NE(s.find("!x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gld

@@ -1,0 +1,96 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gld {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng r(11);
+    int hits = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.1);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.1, 0.005);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng r(3);
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_FALSE(r.bernoulli(-1.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_TRUE(r.bernoulli(2.0));
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng r(5);
+    std::set<uint32_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const uint32_t v = r.uniform_int(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng base(99);
+    Rng s1 = base.split(1);
+    Rng s2 = base.split(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += s1.next_u64() == s2.next_u64();
+    EXPECT_LT(same, 2);
+    // Splitting is deterministic and independent of the parent's position.
+    Rng s1b = base.split(1);
+    Rng s1c = Rng(99).split(1);
+    EXPECT_EQ(s1b.next_u64(), s1c.next_u64());
+}
+
+TEST(Rng, BitIsBalanced)
+{
+    Rng r(13);
+    int ones = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ones += r.bit();
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace gld

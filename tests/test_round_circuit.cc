@@ -1,0 +1,151 @@
+#include "circuit/round_circuit.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "codes/bpc_code.h"
+#include "codes/color_code.h"
+#include "codes/surface_code.h"
+
+namespace gld {
+namespace {
+
+TEST(RoundCircuit, OpInventoryMatchesCode)
+{
+    const CssCode code = SurfaceCode::make(5);
+    const RoundCircuit rc(code);
+    int resets = 0, hs = 0, cnots = 0, measures = 0;
+    for (const Op& op : rc.ops()) {
+        switch (op.type) {
+          case OpType::kResetZ:
+            ++resets;
+            break;
+          case OpType::kH:
+            ++hs;
+            break;
+          case OpType::kCnot:
+            ++cnots;
+            break;
+          case OpType::kMeasure:
+            ++measures;
+            break;
+        }
+    }
+    EXPECT_EQ(resets, code.n_checks());
+    EXPECT_EQ(measures, code.n_checks());
+    EXPECT_EQ(hs, 2 * static_cast<int>(
+                          code.checks_of_type(CheckType::kX).size()));
+    int weight_sum = 0;
+    for (const auto& c : code.checks())
+        weight_sum += static_cast<int>(c.support.size());
+    EXPECT_EQ(cnots, weight_sum);
+    EXPECT_EQ(rc.n_cnots(), weight_sum);
+}
+
+TEST(RoundCircuit, SurfaceUsesFourStepZigZagSchedule)
+{
+    // The surface code ships the canonical hook-safe interleaved schedule:
+    // 4 CNOT steps.
+    const CssCode code = SurfaceCode::make(7);
+    ASSERT_TRUE(code.has_schedule_hint());
+    const RoundCircuit rc(code);
+    EXPECT_EQ(rc.n_cnot_steps(), 4);
+}
+
+TEST(RoundCircuit, GenericCodesSeparateZAndXPhases)
+{
+    // Codes without a hand-crafted schedule run the Z phase strictly
+    // before the X phase (valid stabilizer measurement for any CSS code).
+    const CssCode code = ColorCode::make(5);
+    ASSERT_FALSE(code.has_schedule_hint());
+    const RoundCircuit rc(code);
+    int max_z_step = -1, min_x_step = 1 << 20;
+    for (int q = 0; q < code.n_data(); ++q) {
+        for (const SlotRef& s : rc.slots_of(q)) {
+            if (s.type == CheckType::kZ)
+                max_z_step = std::max(max_z_step, s.step);
+            else
+                min_x_step = std::min(min_x_step, s.step);
+        }
+    }
+    EXPECT_LT(max_z_step, min_x_step);
+}
+
+TEST(RoundCircuit, CnotDirectionByCheckType)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    for (const Op& op : rc.ops()) {
+        if (op.type != OpType::kCnot)
+            continue;
+        const bool q0_is_data = op.q0 < code.n_data();
+        const bool q1_is_data = op.q1 < code.n_data();
+        EXPECT_NE(q0_is_data, q1_is_data);
+        if (q0_is_data) {
+            // data -> ancilla: Z check.
+            EXPECT_EQ(code.check(op.q1 - code.n_data()).type, CheckType::kZ);
+        } else {
+            EXPECT_EQ(code.check(op.q0 - code.n_data()).type, CheckType::kX);
+        }
+    }
+}
+
+TEST(RoundCircuit, MeasureSlotsAreCheckIndices)
+{
+    const CssCode code = ColorCode::make(5);
+    const RoundCircuit rc(code);
+    std::set<int> slots;
+    for (const Op& op : rc.ops()) {
+        if (op.type == OpType::kMeasure) {
+            EXPECT_EQ(op.q0, code.ancilla_of(op.mslot));
+            slots.insert(op.mslot);
+        }
+    }
+    EXPECT_EQ(static_cast<int>(slots.size()), code.n_checks());
+}
+
+class SlotStructure : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SlotStructure, SlotsAreOrderedAndComplete)
+{
+    CssCode code = [&]() {
+        const std::string name = GetParam();
+        if (name == "surface")
+            return SurfaceCode::make(5);
+        if (name == "color")
+            return ColorCode::make(5);
+        return BpcCode::make_default();
+    }();
+    const RoundCircuit rc(code);
+    for (int q = 0; q < code.n_data(); ++q) {
+        const auto& slots = rc.slots_of(q);
+        EXPECT_EQ(slots.size(), code.data_adjacency()[q].size());
+        for (size_t i = 1; i < slots.size(); ++i)
+            EXPECT_LT(slots[i - 1].step, slots[i].step);
+        for (const SlotRef& s : slots) {
+            EXPECT_EQ(code.check(s.check).type, s.type);
+            const auto& sup = code.check(s.check).support;
+            EXPECT_NE(std::find(sup.begin(), sup.end(), q), sup.end());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, SlotStructure,
+                         ::testing::Values("surface", "color", "bpc"));
+
+TEST(RoundCircuit, NoQubitReusedWithinStep)
+{
+    const CssCode code = SurfaceCode::make(5);
+    const RoundCircuit rc(code);
+    std::vector<std::set<int>> step_qubits(rc.n_cnot_steps());
+    for (const Op& op : rc.ops()) {
+        if (op.type != OpType::kCnot)
+            continue;
+        EXPECT_TRUE(step_qubits[op.step].insert(op.q0).second);
+        EXPECT_TRUE(step_qubits[op.step].insert(op.q1).second);
+    }
+}
+
+}  // namespace
+}  // namespace gld

@@ -1,0 +1,114 @@
+#include "circuit/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/bpc_code.h"
+#include "codes/color_code.h"
+#include "codes/hgp_code.h"
+#include "codes/surface_code.h"
+#include "util/rng.h"
+
+namespace gld {
+namespace {
+
+std::vector<std::pair<int, int>>
+tanner_edges(const CssCode& code)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int c = 0; c < code.n_checks(); ++c) {
+        for (int q : code.check(c).support)
+            edges.emplace_back(c, q);
+    }
+    return edges;
+}
+
+void
+check_proper(int n_left, int n_right,
+             const std::vector<std::pair<int, int>>& edges,
+             const std::vector<int>& colors, int n_colors)
+{
+    ASSERT_EQ(colors.size(), edges.size());
+    std::vector<std::vector<int>> used_l(n_left), used_r(n_right);
+    for (size_t e = 0; e < edges.size(); ++e) {
+        ASSERT_GE(colors[e], 0);
+        ASSERT_LT(colors[e], n_colors);
+        used_l[edges[e].first].push_back(colors[e]);
+        used_r[edges[e].second].push_back(colors[e]);
+    }
+    auto no_dup = [](std::vector<int>& v) {
+        std::sort(v.begin(), v.end());
+        return std::adjacent_find(v.begin(), v.end()) == v.end();
+    };
+    for (auto& v : used_l)
+        ASSERT_TRUE(no_dup(v)) << "color reused at a check";
+    for (auto& v : used_r)
+        ASSERT_TRUE(no_dup(v)) << "color reused at a data qubit";
+}
+
+TEST(BipartiteEdgeColoring, RandomBipartiteGraphsUseDeltaColors)
+{
+    Rng rng(17);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int nl = 5 + static_cast<int>(rng.uniform_int(10));
+        const int nr = 5 + static_cast<int>(rng.uniform_int(10));
+        std::vector<std::pair<int, int>> edges;
+        for (int l = 0; l < nl; ++l) {
+            for (int r = 0; r < nr; ++r) {
+                if (rng.bernoulli(0.3))
+                    edges.emplace_back(l, r);
+            }
+        }
+        if (edges.empty())
+            continue;
+        int n_colors = 0;
+        const auto colors =
+            BipartiteEdgeColoring::color(nl, nr, edges, &n_colors);
+        // König: bipartite chromatic index == max degree.
+        std::vector<int> dl(nl, 0), dr(nr, 0);
+        int delta = 0;
+        for (auto& [l, r] : edges)
+            delta = std::max({delta, ++dl[l], ++dr[r]});
+        EXPECT_EQ(n_colors, delta);
+        check_proper(nl, nr, edges, colors, n_colors);
+    }
+}
+
+class CodeColoring : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CodeColoring, TannerGraphColoringIsProper)
+{
+    CssCode code = [&]() {
+        const std::string name = GetParam();
+        if (name == "surface5")
+            return SurfaceCode::make(5);
+        if (name == "color5")
+            return ColorCode::make(5);
+        if (name == "hgp")
+            return HgpCode::make_hamming();
+        return BpcCode::make_default();
+    }();
+    const auto edges = tanner_edges(code);
+    int n_colors = 0;
+    const auto colors = BipartiteEdgeColoring::color(
+        code.n_checks(), code.n_data(), edges, &n_colors);
+    check_proper(code.n_checks(), code.n_data(), edges, colors, n_colors);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodes, CodeColoring,
+                         ::testing::Values("surface5", "color5", "hgp",
+                                           "bpc"));
+
+TEST(GreedyVertexColoring, ProperColoring)
+{
+    // A 5-cycle needs 3 colors.
+    std::vector<std::pair<int, int>> edges = {
+        {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+    int n_colors = 0;
+    const auto colors = GreedyVertexColoring::color(5, edges, &n_colors);
+    for (auto& [a, b] : edges)
+        EXPECT_NE(colors[a], colors[b]);
+    EXPECT_GE(n_colors, 3);
+}
+
+}  // namespace
+}  // namespace gld

@@ -1,0 +1,234 @@
+#include "core/spec_model.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/round_circuit.h"
+#include "codes/color_code.h"
+#include "codes/surface_code.h"
+#include "core/policy_eraser.h"
+
+namespace gld {
+namespace {
+
+PatternClass
+bulk_class(const CodeContext& ctx)
+{
+    // The class with the widest observed pattern (bulk data qubits).
+    int best = 0;
+    for (int i = 0; i < ctx.n_classes(); ++i) {
+        if (ctx.classes()[i].k_obs > ctx.classes()[best].k_obs)
+            best = i;
+    }
+    return ctx.classes()[best];
+}
+
+int
+count_flags(const std::vector<uint8_t>& flags)
+{
+    int n = 0;
+    for (uint8_t f : flags)
+        n += f;
+    return n;
+}
+
+TEST(SpecModel, WeightsArePositiveAndZeroNodeNeverFlagged)
+{
+    const CssCode code = SurfaceCode::make(5);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    const PatternClass cls = bulk_class(ctx);
+    ASSERT_EQ(cls.k_obs, 4);
+    const NoiseParams np = NoiseParams::standard();
+    const PatternWeights w = SpecModel::single_round(cls, np, {});
+    EXPECT_EQ(w.bits, 4);
+    for (uint32_t s = 0; s < 16; ++s)
+        EXPECT_GT(w.w_leak[s], 0.0);  // persistent leakage reaches all
+    const auto flags = SpecModel::label(w, 1.0);
+    EXPECT_EQ(flags[0], 0);
+}
+
+TEST(SpecModel, SurfaceBulkFlagsFewerThanEraser)
+{
+    // Paper §4.3: ERASER flags 11/16 4-bit patterns; GLADIATOR 7-8/16
+    // (6/16 under our type-aware propagation — see DESIGN.md).
+    const CssCode code = SurfaceCode::make(7);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    const NoiseParams np = NoiseParams::standard();
+    const PatternWeights w =
+        SpecModel::single_round(bulk_class(ctx), np, {});
+    const int flagged = count_flags(SpecModel::label(w, 1.0));
+    EXPECT_EQ(EraserPolicy::flagged_count(4), 11);
+    EXPECT_GE(flagged, 4);
+    EXPECT_LE(flagged, 9);
+    EXPECT_LT(flagged, EraserPolicy::flagged_count(4));
+}
+
+TEST(SpecModel, WeightOnePatternsAreNotFlagged)
+{
+    // Single-bit flips are overwhelmingly measurement/gate noise.
+    const CssCode code = SurfaceCode::make(5);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    const NoiseParams np = NoiseParams::standard();
+    const PatternWeights w =
+        SpecModel::single_round(bulk_class(ctx), np, {});
+    const auto flags = SpecModel::label(w, 1.0);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(flags[1u << i], 0) << "bit " << i;
+}
+
+TEST(SpecModel, FullPatternNotFlagged)
+{
+    // 1111 is the first-order signature of a round-start Y error.
+    const CssCode code = SurfaceCode::make(5);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    const PatternWeights w = SpecModel::single_round(
+        bulk_class(ctx), NoiseParams::standard(), {});
+    EXPECT_EQ(SpecModel::label(w, 1.0)[0b1111], 0);
+}
+
+TEST(SpecModel, ThresholdMonotonicity)
+{
+    const CssCode code = SurfaceCode::make(5);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    const PatternWeights w = SpecModel::single_round(
+        bulk_class(ctx), NoiseParams::standard(), {});
+    int prev = 17;
+    for (double theta : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+        const int flagged = count_flags(SpecModel::label(w, theta));
+        EXPECT_LE(flagged, prev);
+        prev = flagged;
+    }
+}
+
+TEST(SpecModel, HigherLeakRatioFlagsMorePatterns)
+{
+    // Adaptability (paper §4.3): weights recalibrate with the error
+    // profile; more leakage-dominated devices flag more patterns.
+    const CssCode code = SurfaceCode::make(5);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    const PatternClass cls = bulk_class(ctx);
+    int prev = 0;
+    for (double lr : {0.01, 0.1, 1.0, 10.0}) {
+        const PatternWeights w =
+            SpecModel::single_round(cls, NoiseParams::standard(1e-3, lr), {});
+        const int flagged = count_flags(SpecModel::label(w, 1.0));
+        EXPECT_GE(flagged, prev) << "lr " << lr;
+        prev = flagged;
+    }
+}
+
+TEST(SpecModel, ColorCodeThreeBitClassFlagsAtMostEraser)
+{
+    // Paper §5.2: out of all 3-bit patterns ERASER flags 4/8, GLADIATOR 3.
+    const CssCode code = ColorCode::make(5);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kZOnly);
+    const PatternClass cls = bulk_class(ctx);
+    ASSERT_EQ(cls.k_obs, 3);
+    const PatternWeights w =
+        SpecModel::single_round(cls, NoiseParams::standard(), {});
+    const int flagged = count_flags(SpecModel::label(w, 1.0));
+    EXPECT_EQ(EraserPolicy::flagged_count(3), 4);
+    EXPECT_LE(flagged, 4);
+    EXPECT_GE(flagged, 1);
+}
+
+TEST(SpecModel, TwoRoundDeferralConcentratesNoiseMassOutsideFlags)
+{
+    // Paper §5.2: deferring by one round cuts false positives.  The
+    // model-level statement: the fraction of the total NON-LEAKAGE
+    // probability mass that lands on flagged keys (the expected FP rate)
+    // must shrink under the two-round window, even though the flagged
+    // KEY COUNT can grow (higher sensitivity to still-random leakage).
+    const CssCode code = SurfaceCode::make(5);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    const PatternClass cls = bulk_class(ctx);
+    const NoiseParams np = NoiseParams::standard();
+    const SpecModelOptions opt;
+    const PatternWeights w1 = SpecModel::single_round(cls, np, opt);
+    const PatternWeights w2 = SpecModel::two_round(cls, np, opt);
+    EXPECT_EQ(w2.bits, 8);
+
+    auto fp_mass = [&](const PatternWeights& w) {
+        const auto flags = SpecModel::label(w, opt.threshold);
+        double flagged = 0, total = 0;
+        for (size_t s = 1; s < flags.size(); ++s) {
+            total += w.w_nonleak[s];
+            if (flags[s])
+                flagged += w.w_nonleak[s];
+        }
+        return flagged / total;
+    };
+    const double fp1 = fp_mass(w1);
+    const double fp2 = fp_mass(w2);
+    EXPECT_LT(fp2, fp1);
+    // The flagged noise mass is a small minority in both tables.
+    EXPECT_LT(fp1, 0.35);
+    EXPECT_LT(fp2, 0.15);
+
+    // Sensitivity: a still-leaked qubit produces uniform keys, so the
+    // two-round hit rate is the flagged fraction — it must not collapse.
+    const double sens2 =
+        static_cast<double>(count_flags(SpecModel::label(w2, opt.threshold))) /
+        256.0;
+    EXPECT_GT(sens2, 0.3);
+}
+
+TEST(SpecModel, TwoRoundStaticPauliSignatureIsNotFlagged)
+{
+    // An X error between rounds shows (onset, complement); e.g. the full
+    // onset (1111 in round r, 0000 in round r+1) is a Pauli signature.
+    const CssCode code = SurfaceCode::make(5);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    const PatternClass cls = bulk_class(ctx);
+    const NoiseParams np = NoiseParams::standard();
+    const PatternWeights w = SpecModel::two_round(cls, np, {});
+    const auto flags = SpecModel::label(w, 1.0);
+    // Round-start Y error in round r: s1 = 1111, s2 = 0000.
+    EXPECT_EQ(flags[(0b1111u << 4) | 0b0000u], 0);
+    // Single measurement flip: (e_i, e_i).
+    EXPECT_EQ(flags[(0b0001u << 4) | 0b0001u], 0);
+}
+
+TEST(SpecModel, SecondOrderCutoffChangesLabels)
+{
+    const CssCode code = SurfaceCode::make(5);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    const PatternClass cls = bulk_class(ctx);
+    const NoiseParams np = NoiseParams::standard();
+    SpecModelOptions first_only;
+    first_only.max_order = 1;
+    const int f1 = count_flags(
+        SpecModel::label(SpecModel::single_round(cls, np, first_only), 1.0));
+    const int f2 = count_flags(
+        SpecModel::label(SpecModel::single_round(cls, np, {}), 1.0));
+    // Dropping second-order competition can only flag more (or equal).
+    EXPECT_GE(f1, f2);
+}
+
+TEST(SpecModel, PriorTailsReduceFlaggedSet)
+{
+    const CssCode code = SurfaceCode::make(5);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, PatternScope::kBothTypes);
+    const PatternClass cls = bulk_class(ctx);
+    const NoiseParams np = NoiseParams::standard();
+    SpecModelOptions with_tails;
+    with_tails.include_prior_tails = true;
+    const int f_base = count_flags(
+        SpecModel::label(SpecModel::single_round(cls, np, {}), 1.0));
+    const int f_tails = count_flags(SpecModel::label(
+        SpecModel::single_round(cls, np, with_tails), 1.0));
+    EXPECT_LE(f_tails, f_base);
+}
+
+}  // namespace
+}  // namespace gld

@@ -1,0 +1,26 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace gld {
+namespace {
+
+TEST(TablePrinter, RendersMarkdown)
+{
+    TablePrinter t({"a", "bb"});
+    t.add_row({"1", "2"});
+    t.add_row({"333"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("| a   | bb |"), std::string::npos);
+    EXPECT_NE(s.find("| 333 |    |"), std::string::npos);
+    EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinter, FormatsNumbers)
+{
+    EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TablePrinter::sci(0.00123, 1), "1.2e-03");
+}
+
+}  // namespace
+}  // namespace gld

@@ -1,0 +1,104 @@
+#include "sim/tableau_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace gld {
+namespace {
+
+TEST(TableauSim, ComputationalBasisMeasurement)
+{
+    TableauSim sim(2);
+    bool random = true;
+    EXPECT_FALSE(sim.measure_z(0, &random));
+    EXPECT_FALSE(random);
+    sim.x(0);
+    EXPECT_TRUE(sim.measure_z(0, &random));
+    EXPECT_FALSE(random);
+}
+
+TEST(TableauSim, HadamardGivesRandomOutcome)
+{
+    TableauSim sim(1);
+    sim.h(0);
+    bool random = false;
+    const bool forced = true;
+    EXPECT_TRUE(sim.measure_z(0, &random, &forced));
+    EXPECT_TRUE(random);
+    // After collapse the outcome is pinned.
+    bool random2 = true;
+    EXPECT_TRUE(sim.measure_z(0, &random2));
+    EXPECT_FALSE(random2);
+}
+
+TEST(TableauSim, BellPairCorrelations)
+{
+    TableauSim sim(2);
+    sim.h(0);
+    sim.cnot(0, 1);
+    // Z0 Z1 is +1 deterministic; single Z0 is random.
+    EXPECT_EQ(sim.z_product_expectation({0, 1}), +1);
+    EXPECT_EQ(sim.z_product_expectation({0}), 0);
+    bool random = false;
+    const bool forced = true;
+    const bool m0 = sim.measure_z(0, &random, &forced);
+    EXPECT_TRUE(random);
+    const bool m1 = sim.measure_z(1, &random);
+    EXPECT_FALSE(random);
+    EXPECT_EQ(m0, m1);
+}
+
+TEST(TableauSim, AnticorrelatedBell)
+{
+    TableauSim sim(2);
+    sim.h(0);
+    sim.cnot(0, 1);
+    sim.x(1);
+    EXPECT_EQ(sim.z_product_expectation({0, 1}), -1);
+}
+
+TEST(TableauSim, GhzParity)
+{
+    TableauSim sim(3, 5);
+    sim.h(0);
+    sim.cnot(0, 1);
+    sim.cnot(1, 2);
+    EXPECT_EQ(sim.z_product_expectation({0, 1}), +1);
+    EXPECT_EQ(sim.z_product_expectation({1, 2}), +1);
+    EXPECT_EQ(sim.z_product_expectation({0, 1, 2}), 0);  // odd Z's: random
+}
+
+TEST(TableauSim, ResetForcesZero)
+{
+    TableauSim sim(1, 9);
+    sim.h(0);
+    sim.reset_z(0);
+    bool random = true;
+    EXPECT_FALSE(sim.measure_z(0, &random));
+    EXPECT_FALSE(random);
+}
+
+TEST(TableauSim, SGateTurnsXIntoY)
+{
+    // S X S^dag = Y: verify via H S S H |0> = H S S H -> measure.
+    TableauSim sim(1);
+    sim.h(0);
+    sim.s(0);
+    sim.s(0);
+    sim.h(0);
+    // HSSH = HZH = X, so the state is |1>.
+    bool random = true;
+    EXPECT_TRUE(sim.measure_z(0, &random));
+    EXPECT_FALSE(random);
+}
+
+TEST(TableauSim, PauliYPhase)
+{
+    TableauSim sim(1);
+    sim.y(0);  // |0> -> i|1>
+    bool random = true;
+    EXPECT_TRUE(sim.measure_z(0, &random));
+    EXPECT_FALSE(random);
+}
+
+}  // namespace
+}  // namespace gld

@@ -10,6 +10,7 @@
 #include "core/pattern_table.h"
 #include "core/policy_gladiator.h"
 #include "runtime/experiment.h"
+#include "util/config.h"
 
 using namespace gld;
 
@@ -33,7 +34,8 @@ main()
         ExperimentConfig cfg;
         cfg.np = true_np;
         cfg.rounds = 70;
-        cfg.shots = 200;
+        cfg.shots = BenchConfig::shots(200);
+        cfg.threads = BenchConfig::threads();
         cfg.leakage_sampling = true;
         ExperimentRunner runner(ctx, cfg);
         // Stale: tables built for the old calibration point.

@@ -9,6 +9,7 @@
 #include "core/policy_eraser.h"
 #include "core/pattern_table.h"
 #include "runtime/experiment.h"
+#include "util/config.h"
 
 using namespace gld;
 
@@ -39,7 +40,8 @@ main()
     ExperimentConfig cfg;
     cfg.np = np;
     cfg.rounds = 100;
-    cfg.shots = 200;
+    cfg.shots = BenchConfig::shots(200);
+    cfg.threads = BenchConfig::threads();
     cfg.leakage_sampling = true;
     ExperimentRunner runner(ctx, cfg);
 

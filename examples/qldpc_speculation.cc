@@ -7,6 +7,7 @@
 #include "codes/bpc_code.h"
 #include "codes/hgp_code.h"
 #include "runtime/experiment.h"
+#include "util/config.h"
 
 using namespace gld;
 
@@ -26,7 +27,8 @@ run_code(const CssCode& code)
     ExperimentConfig cfg;
     cfg.np = np;
     cfg.rounds = 100;
-    cfg.shots = 200;
+    cfg.shots = BenchConfig::shots(200);
+    cfg.threads = BenchConfig::threads();
     cfg.leakage_sampling = true;
     ExperimentRunner runner(ctx, cfg);
 

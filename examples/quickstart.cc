@@ -6,6 +6,7 @@
 
 #include "codes/surface_code.h"
 #include "runtime/experiment.h"
+#include "util/config.h"
 
 using namespace gld;
 
@@ -27,7 +28,8 @@ main()
     ExperimentConfig cfg;
     cfg.np = np;
     cfg.rounds = 50;
-    cfg.shots = 400;
+    cfg.shots = BenchConfig::shots(400);
+    cfg.threads = BenchConfig::threads();
     cfg.compute_ler = true;
     cfg.leakage_sampling = true;
     ExperimentRunner runner(ctx, cfg);

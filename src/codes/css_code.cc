@@ -13,7 +13,7 @@ CssCode::CssCode(std::string name, int n_data, std::vector<Check> checks,
 {
     for (auto& c : checks_) {
         std::sort(c.support.begin(), c.support.end());
-        for (int q : c.support)
+        for ([[maybe_unused]] int q : c.support)
             assert(q >= 0 && q < n_data_);
     }
     data_adjacency_.assign(n_data_, {});

@@ -34,12 +34,15 @@ ExperimentRunner::run_shots(const PolicyFactory& factory, uint64_t stream,
     if (cfg_.record_dlp_series)
         m.dlp_series.assign(cfg_.rounds, 0.0);
 
+    // Disjoint split ids per stream (4s, 4s+1, 4s+2): no two derived
+    // generators across streams may share a stream id, or their
+    // Monte-Carlo draws would be correlated.
     Rng master(cfg_.seed);
-    Rng shot_rng = master.split(stream * 2 + 1);
+    Rng shot_rng = master.split(stream * 4 + 1);
     LeakFrameSim sim(code, ctx_->rc(), cfg_.np,
-                     master.split(stream * 2).next_u64());
+                     master.split(stream * 4).next_u64());
     std::unique_ptr<Policy> policy =
-        factory(*ctx_, master.split(stream * 3 + 7).next_u64());
+        factory(*ctx_, master.split(stream * 4 + 2).next_u64());
     policy->set_oracle(&sim);
 
     std::unique_ptr<UnionFindDecoder> decoder;
@@ -128,25 +131,43 @@ ExperimentRunner::run_shots(const PolicyFactory& factory, uint64_t stream,
 Metrics
 ExperimentRunner::run(const PolicyFactory& factory) const
 {
-    const int threads = std::max(1, cfg_.threads);
-    if (threads == 1 || cfg_.shots < 2 * threads)
-        return run_shots(factory, 0, cfg_.shots, graph_.get());
-
-    std::vector<Metrics> parts(threads);
-    std::vector<std::thread> pool;
-    const int per = cfg_.shots / threads;
-    int extra = cfg_.shots % threads;
-    int assigned = 0;
-    for (int t = 0; t < threads; ++t) {
-        const int n = per + (t < extra ? 1 : 0);
-        pool.emplace_back([this, &factory, &parts, t, n]() {
-            parts[t] = run_shots(factory, static_cast<uint64_t>(t) + 1, n,
-                                 graph_.get());
-        });
-        assigned += n;
+    // Reproducibility contract: shots are partitioned into a fixed number
+    // of RNG streams derived only from (shots, rng_streams) — never from
+    // the thread count — and per-stream results are merged in stream
+    // order.  The same seed therefore yields bit-identical Metrics for
+    // any cfg_.threads (the per-stream accumulation order is fixed, and
+    // cross-stream sums always happen in the same order).
+    if (cfg_.shots <= 0) {
+        Metrics m;
+        m.rounds_per_shot = cfg_.rounds;
+        return m;
     }
-    for (auto& th : pool)
-        th.join();
+    const int streams = std::min(cfg_.shots, std::max(1, cfg_.rng_streams));
+    const int per = cfg_.shots / streams;
+    const int extra = cfg_.shots % streams;
+    std::vector<Metrics> parts(streams);
+    const auto run_stream = [&](int s) {
+        const int n = per + (s < extra ? 1 : 0);
+        parts[s] = run_shots(factory, static_cast<uint64_t>(s), n,
+                             graph_.get());
+    };
+
+    const int threads = std::min(std::max(1, cfg_.threads), streams);
+    if (threads == 1) {
+        for (int s = 0; s < streams; ++s)
+            run_stream(s);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&run_stream, t, streams, threads]() {
+                for (int s = t; s < streams; s += threads)
+                    run_stream(s);
+            });
+        }
+        for (auto& th : pool)
+            th.join();
+    }
     Metrics m;
     for (const Metrics& part : parts)
         m.merge(part);

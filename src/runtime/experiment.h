@@ -30,9 +30,16 @@ struct ExperimentConfig {
     /** Record the per-round DLP series (Fig 10/11). */
     bool record_dlp_series = false;
     int threads = 1;
+    /**
+     * Number of independent RNG streams the shots are partitioned into.
+     * Results depend on this value but NOT on `threads`: the same seed
+     * and stream count give bit-identical Metrics for any thread count.
+     */
+    int rng_streams = 8;
 };
 
-/** Builds a fresh policy; called once per worker thread. */
+/** Builds a fresh policy; called once per RNG stream (rng_streams times
+ *  per run, regardless of the thread count). */
 using PolicyFactory = std::function<std::unique_ptr<Policy>(
     const CodeContext& ctx, uint64_t seed)>;
 

@@ -65,8 +65,9 @@ TEST(CrossValidation, StabilizersAreInGroupAfterOneRound)
     // After projection, every Z stabilizer is a definite +/-1; with all-zero
     // initialization it must be +1.
     for (const auto& check : code.checks()) {
-        if (check.type == CheckType::kZ)
+        if (check.type == CheckType::kZ) {
             EXPECT_EQ(sim.z_product_expectation(check.support), +1);
+        }
     }
     // The logical Z observable is +1 as well (encoded |0>).
     EXPECT_EQ(sim.z_product_expectation(code.logical_z()), +1);
@@ -113,8 +114,9 @@ TEST(CrossValidation, LogicalXFlipsLogicalObservable)
     // stabilizers: syndromes stay quiet, observable flips.
     EXPECT_EQ(sim.z_product_expectation(code.logical_z()), -1);
     for (const auto& check : code.checks()) {
-        if (check.type == CheckType::kZ)
+        if (check.type == CheckType::kZ) {
             EXPECT_EQ(sim.z_product_expectation(check.support), +1);
+        }
     }
 }
 

@@ -100,10 +100,11 @@ TEST(QmMinimizer, RandomFunctionsWithDontCares)
         }
         const auto cubes = QmMinimizer::minimize(n, onset, dc);
         for (uint32_t x = 0; x < (1u << n); ++x) {
-            if (kind[x] == 1)
+            if (kind[x] == 1) {
                 ASSERT_TRUE(QmMinimizer::eval(cubes, x));
-            else if (kind[x] == 0)
+            } else if (kind[x] == 0) {
                 ASSERT_FALSE(QmMinimizer::eval(cubes, x));
+            }
             // don't-cares may be either
         }
     }

@@ -2,12 +2,22 @@
 // triangular 6.6.6 color code, syndrome information per data qubit is
 // sparse (1-3 bits), so ERASER's half-flip heuristic over-triggers while
 // GLADIATOR-D's two-round deferral keeps LRCs targeted.
+//
+// The policy sweep runs through the campaign API — the same path
+// `gld_campaign` drives across machines — split into two in-process
+// "shards" and merged back, which is bit-identical to one monolithic
+// ExperimentRunner::run() per policy.  Results checkpoint to
+// ./color_code_campaign: re-running this example resumes instead of
+// recomputing, and deleting the directory forces a fresh run.
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "campaign/campaign.h"
+#include "campaign/registry.h"
 #include "codes/color_code.h"
-#include "core/policy_eraser.h"
 #include "core/pattern_table.h"
+#include "core/policy_eraser.h"
 #include "runtime/experiment.h"
 #include "util/config.h"
 
@@ -37,30 +47,47 @@ main()
                     1 << (2 * k));
     }
 
-    ExperimentConfig cfg;
-    cfg.np = np;
-    cfg.rounds = 100;
-    cfg.shots = BenchConfig::shots(200);
-    cfg.threads = BenchConfig::threads();
-    cfg.leakage_sampling = true;
-    ExperimentRunner runner(ctx, cfg);
+    // The online sweep as a 1x1x3 campaign grid.  Registry and display
+    // names are paired so the table labels cannot drift from the jobs.
+    const std::vector<std::pair<std::string, std::string>> lineup = {
+        {"eraser_m", "ERASER+M"},
+        {"gladiator_m", "GLADIATOR+M"},
+        {"gladiator_d_m", "GLADIATOR-D+M"},
+    };
+    campaign::CampaignSpec spec;
+    spec.name = "color7";
+    spec.shots = BenchConfig::shots(200);
+    spec.rounds = 100;
+    spec.leakage_sampling = true;
+    spec.codes = {"color:7"};
+    spec.noise = {np};
+    for (const auto& entry : lineup)
+        spec.policies.push_back(entry.first);
+
+    const std::string out_dir = "color_code_campaign";
+    const int n_shards = 2;  // pretend-distributed: both run here
+    // GLD_CAMPAIGN_FRESH=1 (the CTest smoke environment) discards
+    // checkpoints: they fingerprint the configuration, not the binary.
+    const char* fresh = std::getenv("GLD_CAMPAIGN_FRESH");
+    if (fresh != nullptr && fresh[0] == '1')
+        campaign::remove_results(spec, n_shards, out_dir);
+    for (int shard = 0; shard < n_shards; ++shard) {
+        const campaign::RunShardStats stats = campaign::run_shard(
+            spec, shard, n_shards, out_dir, BenchConfig::threads());
+        std::printf("%s shard %d/%d: %d job(s) run, %d resumed\n",
+                    shard == 0 ? "\n" : "", shard, n_shards, stats.jobs_run,
+                    stats.jobs_resumed);
+    }
+    const std::vector<Metrics> results =
+        campaign::merge_campaign(spec, n_shards, out_dir);
 
     std::printf("\n%-16s %10s %10s %10s %10s\n", "policy", "FP/shot",
                 "FN/shot", "LRC/shot", "DLP");
-    struct Row {
-        const char* name;
-        PolicyFactory factory;
-    };
-    const Row rows[] = {
-        {"ERASER+M", PolicyZoo::eraser(true)},
-        {"GLADIATOR+M", PolicyZoo::gladiator(true, np)},
-        {"GLADIATOR-D+M", PolicyZoo::gladiator_d(true, np)},
-    };
-    for (const Row& row : rows) {
-        const Metrics m = runner.run(row.factory);
-        std::printf("%-16s %10.2f %10.2f %10.1f %10.2e\n", row.name,
-                    m.fp_per_shot(), m.fn_per_shot(), m.lrc_per_shot(),
-                    m.dlp_mean());
+    for (size_t i = 0; i < lineup.size(); ++i) {
+        const Metrics& m = results[i];
+        std::printf("%-16s %10.2f %10.2f %10.1f %10.2e\n",
+                    lineup[i].second.c_str(), m.fp_per_shot(),
+                    m.fn_per_shot(), m.lrc_per_shot(), m.dlp_mean());
     }
     return 0;
 }

@@ -1,0 +1,434 @@
+#include "campaign/campaign.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "campaign/registry.h"
+#include "io/serialize.h"
+#include "util/config.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace gld {
+namespace campaign {
+
+using io::Json;
+
+// --- CampaignSpec. ---
+
+uint64_t
+CampaignSpec::job_seed(int index) const
+{
+    // One split stream per seed group off the campaign master: stable
+    // under re-expansion and independent of the splits ExperimentRunner
+    // later derives from the job seed itself (different master).  With
+    // policy pairing, the group collapses the (innermost) policy
+    // dimension so all policies at a grid point draw the same noise.
+    const uint64_t group =
+        pair_policy_seeds && !policies.empty()
+            ? static_cast<uint64_t>(index) / policies.size()
+            : static_cast<uint64_t>(index);
+    return Rng(seed).split(group).next_u64();
+}
+
+std::vector<JobSpec>
+CampaignSpec::expand() const
+{
+    if (codes.empty() || policies.empty() || noise.empty())
+        throw std::runtime_error("campaign \"" + name + "\": codes, "
+                                 "policies and noise must all be non-empty");
+    std::vector<JobSpec> jobs;
+    jobs.reserve(codes.size() * noise.size() * policies.size());
+    int index = 0;
+    for (const std::string& code : codes) {
+        for (const NoiseParams& np : noise) {
+            for (const std::string& policy : policies) {
+                JobSpec job;
+                job.index = index;
+                job.code = code;
+                job.policy = policy;
+                job.cfg.np = np;
+                job.cfg.rounds = rounds;
+                job.cfg.shots = shots;
+                job.cfg.seed = job_seed(index);
+                job.cfg.leakage_sampling = leakage_sampling;
+                job.cfg.compute_ler = compute_ler;
+                job.cfg.record_dlp_series = record_dlp_series;
+                job.cfg.rng_streams = rng_streams;
+                jobs.push_back(std::move(job));
+                ++index;
+            }
+        }
+    }
+    return jobs;
+}
+
+Json
+CampaignSpec::to_json() const
+{
+    Json j = Json::object();
+    j.set("gld_version", Json::integer(io::kSerializeVersion));
+    j.set("name", Json::str(name));
+    j.set("seed", Json::str(io::u64_to_hex(seed)));
+    j.set("shots", Json::integer(shots));
+    j.set("rounds", Json::integer(rounds));
+    j.set("rng_streams", Json::integer(rng_streams));
+    j.set("leakage_sampling", Json::boolean(leakage_sampling));
+    j.set("compute_ler", Json::boolean(compute_ler));
+    j.set("record_dlp_series", Json::boolean(record_dlp_series));
+    j.set("pair_policy_seeds", Json::boolean(pair_policy_seeds));
+    Json jc = Json::array();
+    for (const std::string& c : codes)
+        jc.push(Json::str(c));
+    j.set("codes", std::move(jc));
+    Json jp = Json::array();
+    for (const std::string& p : policies)
+        jp.push(Json::str(p));
+    j.set("policies", std::move(jp));
+    Json jn = Json::array();
+    for (const NoiseParams& np : noise)
+        jn.push(io::noise_to_json(np));
+    j.set("noise", std::move(jn));
+    return j;
+}
+
+CampaignSpec
+CampaignSpec::from_json(const Json& j)
+{
+    const int64_t v = j["gld_version"].as_int();
+    if (v != io::kSerializeVersion)
+        throw std::runtime_error("CampaignSpec: unsupported gld_version " +
+                                 std::to_string(v));
+    CampaignSpec spec;
+    spec.name = j["name"].as_str();
+    spec.seed = io::u64_from_hex(j["seed"].as_str());
+    spec.shots = static_cast<int>(j["shots"].as_int());
+    spec.rounds = static_cast<int>(j["rounds"].as_int());
+    spec.rng_streams = static_cast<int>(j["rng_streams"].as_int());
+    spec.leakage_sampling = j["leakage_sampling"].as_bool();
+    spec.compute_ler = j["compute_ler"].as_bool();
+    spec.record_dlp_series = j["record_dlp_series"].as_bool();
+    spec.pair_policy_seeds = j["pair_policy_seeds"].as_bool();
+    spec.codes.clear();
+    const Json& jc = j["codes"];
+    for (size_t i = 0; i < jc.size(); ++i)
+        spec.codes.push_back(jc.at(i).as_str());
+    const Json& jp = j["policies"];
+    for (size_t i = 0; i < jp.size(); ++i)
+        spec.policies.push_back(jp.at(i).as_str());
+    const Json& jn = j["noise"];
+    for (size_t i = 0; i < jn.size(); ++i)
+        spec.noise.push_back(io::noise_from_json(jn.at(i)));
+    return spec;
+}
+
+void
+CampaignSpec::validate() const
+{
+    const std::vector<JobSpec> jobs = expand();  // checks non-empty dims
+    for (const std::string& code : codes)
+        make_code(code);  // throws on bad family/distance
+    for (const std::string& policy : policies)
+        make_policy(policy, noise.front());  // throws on bad name
+    (void)jobs;
+}
+
+// --- ShardPlan. ---
+
+void
+ShardPlan::validate(int shard, int n_shards)
+{
+    if (n_shards < 1)
+        throw std::runtime_error("shard plan: n_shards must be >= 1");
+    if (shard < 0 || shard >= n_shards)
+        throw std::runtime_error("shard plan: shard index " +
+                                 std::to_string(shard) + " outside [0, " +
+                                 std::to_string(n_shards) + ")");
+}
+
+std::vector<int>
+ShardPlan::streams_for(const ExperimentConfig& cfg, int shard, int n_shards)
+{
+    validate(shard, n_shards);
+    std::vector<int> streams;
+    const int total = ExperimentRunner::n_streams(cfg);
+    for (int s = shard; s < total; s += n_shards)
+        streams.push_back(s);
+    return streams;
+}
+
+// --- Result files. ---
+
+namespace {
+
+std::string
+job_tag(const CampaignSpec& spec, int job_index)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ".job%04d", job_index);
+    return spec.name + buf;
+}
+
+}  // namespace
+
+std::string
+shard_result_path(const std::string& out_dir, const CampaignSpec& spec,
+                  int job_index, int shard, int n_shards)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ".shard%dof%d.json", shard, n_shards);
+    return out_dir + "/" + job_tag(spec, job_index) + buf;
+}
+
+std::string
+merged_result_path(const std::string& out_dir, const CampaignSpec& spec,
+                   int job_index)
+{
+    return out_dir + "/" + job_tag(spec, job_index) + ".merged.json";
+}
+
+// --- run_shard. ---
+
+namespace {
+
+/** True if `path` holds a completed, up-to-date shard result. */
+bool
+shard_result_valid(const std::string& path, const CampaignSpec& spec,
+                   const JobSpec& job, int shard, int n_shards)
+{
+    if (!io::file_exists(path))
+        return false;
+    try {
+        const Json j = Json::parse(io::read_file(path));
+        if (j["gld_version"].as_int() != io::kSerializeVersion)
+            return false;
+        // The config hash covers ExperimentConfig only; code and policy
+        // live beside it in the JobSpec (and, with paired seeds, jobs at
+        // one grid point have IDENTICAL configs), so identity must be
+        // checked explicitly or an edited spec resumes mislabeled
+        // results.
+        if (j["campaign"].as_str() != spec.name ||
+            j["code"].as_str() != job.code ||
+            j["policy"].as_str() != job.policy)
+            return false;
+        if (j["config_hash"].as_str() !=
+            io::u64_to_hex(io::config_hash(job.cfg)))
+            return false;
+        if (j["shard"].as_int() != shard || j["n_shards"].as_int() != n_shards)
+            return false;
+        const size_t want =
+            ShardPlan::streams_for(job.cfg, shard, n_shards).size();
+        return j["streams"].size() == want;
+    } catch (const std::exception&) {
+        return false;  // unreadable/garbled: recompute
+    }
+}
+
+}  // namespace
+
+RunShardStats
+run_shard(const CampaignSpec& spec, int shard, int n_shards,
+          const std::string& out_dir, int threads, bool verbose)
+{
+    ShardPlan::validate(shard, n_shards);
+    io::make_dirs(out_dir);
+    RunShardStats stats;
+    for (const JobSpec& job : spec.expand()) {
+        const std::string path =
+            shard_result_path(out_dir, spec, job.index, shard, n_shards);
+        if (shard_result_valid(path, spec, job, shard, n_shards)) {
+            ++stats.jobs_resumed;
+            if (verbose)
+                std::printf("  job %04d [%s / %s]: resume — result "
+                            "up-to-date\n",
+                            job.index, job.code.c_str(), job.policy.c_str());
+            continue;
+        }
+
+        const std::vector<int> streams =
+            ShardPlan::streams_for(job.cfg, shard, n_shards);
+        std::vector<Metrics> parts;
+        if (!streams.empty()) {
+            // Surplus shards (n_shards > stream count) own no streams of
+            // this job: still write the (empty) result file merge
+            // expects, but skip the code/graph construction.
+            std::unique_ptr<CodeInstance> code = make_code(job.code);
+            ExperimentConfig cfg = job.cfg;
+            cfg.threads = threads > 0 ? threads : BenchConfig::threads();
+            const ExperimentRunner runner(code->ctx, cfg);
+            parts = runner.run_partials(make_policy(job.policy, job.cfg.np),
+                                        streams);
+        }
+
+        Json j = Json::object();
+        j.set("gld_version", Json::integer(io::kSerializeVersion));
+        j.set("campaign", Json::str(spec.name));
+        j.set("job", Json::integer(job.index));
+        j.set("code", Json::str(job.code));
+        j.set("policy", Json::str(job.policy));
+        j.set("config_hash",
+              Json::str(io::u64_to_hex(io::config_hash(job.cfg))));
+        j.set("shard", Json::integer(shard));
+        j.set("n_shards", Json::integer(n_shards));
+        Json jstreams = Json::array();
+        for (size_t i = 0; i < streams.size(); ++i) {
+            Json entry = Json::object();
+            entry.set("stream", Json::integer(streams[i]));
+            entry.set("metrics", io::metrics_to_json(parts[i]));
+            jstreams.push(std::move(entry));
+        }
+        j.set("streams", std::move(jstreams));
+        io::write_file_atomic(path, j.dump(2) + "\n");
+        ++stats.jobs_run;
+        if (verbose)
+            std::printf("  job %04d [%s / %s]: ran %zu stream(s) -> %s\n",
+                        job.index, job.code.c_str(), job.policy.c_str(),
+                        streams.size(), path.c_str());
+    }
+    return stats;
+}
+
+void
+remove_results(const CampaignSpec& spec, int n_shards,
+               const std::string& out_dir)
+{
+    for (const JobSpec& job : spec.expand()) {
+        for (int shard = 0; shard < n_shards; ++shard)
+            std::remove(shard_result_path(out_dir, spec, job.index, shard,
+                                          n_shards)
+                            .c_str());
+        std::remove(merged_result_path(out_dir, spec, job.index).c_str());
+    }
+}
+
+// --- merge. ---
+
+std::vector<Metrics>
+merge_campaign(const CampaignSpec& spec, int n_shards,
+               const std::string& out_dir)
+{
+    if (n_shards < 1)
+        throw std::runtime_error("merge: n_shards must be >= 1");
+    std::vector<Metrics> merged;
+    for (const JobSpec& job : spec.expand()) {
+        const int total = ExperimentRunner::n_streams(job.cfg);
+        const std::string want_hash = io::u64_to_hex(io::config_hash(job.cfg));
+        std::vector<Metrics> parts(static_cast<size_t>(total));
+        std::vector<uint8_t> seen(static_cast<size_t>(total), 0);
+
+        for (int shard = 0; shard < n_shards; ++shard) {
+            const std::string path =
+                shard_result_path(out_dir, spec, job.index, shard, n_shards);
+            if (!io::file_exists(path))
+                throw std::runtime_error("merge: missing shard result " +
+                                         path + " (run --shard " +
+                                         std::to_string(shard) + "/" +
+                                         std::to_string(n_shards) + " first)");
+            const Json j = Json::parse(io::read_file(path));
+            if (j["campaign"].as_str() != spec.name ||
+                j["code"].as_str() != job.code ||
+                j["policy"].as_str() != job.policy)
+                throw std::runtime_error(
+                    "merge: " + path + " belongs to a different job (" +
+                    j["code"].as_str() + " / " + j["policy"].as_str() +
+                    ", want " + job.code + " / " + job.policy +
+                    "); re-run that shard");
+            if (j["config_hash"].as_str() != want_hash)
+                throw std::runtime_error(
+                    "merge: " + path + " was produced under a different "
+                    "config (hash " + j["config_hash"].as_str() +
+                    ", want " + want_hash + "); re-run that shard");
+            const Json& jstreams = j["streams"];
+            for (size_t i = 0; i < jstreams.size(); ++i) {
+                const Json& entry = jstreams.at(i);
+                const int s = static_cast<int>(entry["stream"].as_int());
+                if (s < 0 || s >= total)
+                    throw std::runtime_error("merge: " + path +
+                                             " contains out-of-range stream " +
+                                             std::to_string(s));
+                if (seen[static_cast<size_t>(s)])
+                    throw std::runtime_error("merge: stream " +
+                                             std::to_string(s) + " of job " +
+                                             std::to_string(job.index) +
+                                             " appears in two shard files");
+                seen[static_cast<size_t>(s)] = 1;
+                parts[static_cast<size_t>(s)] =
+                    io::metrics_from_json(entry["metrics"]);
+            }
+        }
+        for (int s = 0; s < total; ++s) {
+            if (!seen[static_cast<size_t>(s)])
+                throw std::runtime_error(
+                    "merge: stream " + std::to_string(s) + " of job " +
+                    std::to_string(job.index) + " missing from all shards");
+        }
+
+        // Ascending stream order — the exact summation order of run().
+        Metrics m;
+        if (total == 0)
+            m.rounds_per_shot = job.cfg.rounds;
+        for (const Metrics& part : parts)
+            m.merge(part);
+
+        Json out = Json::object();
+        out.set("gld_version", Json::integer(io::kSerializeVersion));
+        out.set("campaign", Json::str(spec.name));
+        out.set("job", Json::integer(job.index));
+        out.set("code", Json::str(job.code));
+        out.set("policy", Json::str(job.policy));
+        out.set("config_hash", Json::str(want_hash));
+        out.set("n_shards", Json::integer(n_shards));
+        out.set("metrics", io::metrics_to_json(m));
+        io::write_file_atomic(merged_result_path(out_dir, spec, job.index),
+                              out.dump(2) + "\n");
+        merged.push_back(std::move(m));
+    }
+    return merged;
+}
+
+std::vector<Metrics>
+load_merged(const CampaignSpec& spec, const std::string& out_dir)
+{
+    std::vector<Metrics> out;
+    for (const JobSpec& job : spec.expand()) {
+        const std::string path =
+            merged_result_path(out_dir, spec, job.index);
+        if (!io::file_exists(path))
+            throw std::runtime_error("report: missing merged result " + path +
+                                     " (run merge first)");
+        const Json j = Json::parse(io::read_file(path));
+        const std::string want_hash =
+            io::u64_to_hex(io::config_hash(job.cfg));
+        if (j["config_hash"].as_str() != want_hash)
+            throw std::runtime_error("report: " + path +
+                                     " is stale (config hash mismatch); "
+                                     "re-run merge");
+        out.push_back(io::metrics_from_json(j["metrics"]));
+    }
+    return out;
+}
+
+void
+print_report(const CampaignSpec& spec, const std::string& out_dir)
+{
+    const std::vector<JobSpec> jobs = spec.expand();
+    const std::vector<Metrics> metrics = load_merged(spec, out_dir);
+    TablePrinter t({"Job", "Code", "Policy", "p", "lr", "FN/shot", "FP/shot",
+                    "LRC/shot", "DLP", "LER"});
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const JobSpec& job = jobs[i];
+        const Metrics& m = metrics[i];
+        t.add_row({std::to_string(job.index), job.code, job.policy,
+                   TablePrinter::sci(job.cfg.np.p, 1),
+                   TablePrinter::fmt(job.cfg.np.leak_ratio, 2),
+                   TablePrinter::fmt(m.fn_per_shot(), 2),
+                   TablePrinter::fmt(m.fp_per_shot(), 2),
+                   TablePrinter::fmt(m.lrc_per_shot(), 2),
+                   TablePrinter::sci(m.dlp_mean(), 2),
+                   m.decoded_shots > 0 ? TablePrinter::sci(m.ler(), 2) : "-"});
+    }
+    t.print();
+}
+
+}  // namespace campaign
+}  // namespace gld

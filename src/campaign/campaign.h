@@ -1,0 +1,156 @@
+#ifndef GLD_CAMPAIGN_CAMPAIGN_H_
+#define GLD_CAMPAIGN_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+#include "noise/noise_model.h"
+#include "runtime/experiment.h"
+#include "runtime/metrics.h"
+
+namespace gld {
+namespace campaign {
+
+/**
+ * One fully-resolved unit of work: a (code, policy, noise) grid point with
+ * a runnable ExperimentConfig whose seed was derived deterministically
+ * from the campaign seed and the job index.  Running a JobSpec through
+ * ExperimentRunner::run() single-process is, by contract, bit-identical
+ * to running its RNG-stream shards anywhere and merging in stream order.
+ */
+struct JobSpec {
+    int index = 0;
+    std::string code;    ///< registry code spec, e.g. "surface:7"
+    std::string policy;  ///< registry policy name, e.g. "gladiator_m"
+    ExperimentConfig cfg;
+};
+
+/**
+ * A declarative sweep manifest — the paper's figure grids (code family x
+ * distance x policy x noise) as one versioned, serializable document.
+ * expand() flattens the grid into JobSpecs in a deterministic order
+ * (codes outer, noise middle, policies inner), so job indices — and with
+ * them the derived per-job seeds — are stable across processes, shards
+ * and resumes.
+ */
+struct CampaignSpec {
+    std::string name = "campaign";
+    uint64_t seed = 0xCA4A16A5EEDull;
+    int shots = 100;
+    int rounds = 10;
+    int rng_streams = 8;
+    bool leakage_sampling = true;
+    bool compute_ler = false;
+    bool record_dlp_series = false;
+    /**
+     * Paired comparison (default): every policy at the same (code, noise)
+     * grid point shares one derived seed, so policy columns are compared
+     * on identical noise realizations — the variance-reduced design of
+     * the paper's figure generators.  Set false for fully independent
+     * per-job seeds (e.g. when jobs are later pooled as extra shots).
+     */
+    bool pair_policy_seeds = true;
+    std::vector<std::string> codes;     ///< e.g. {"surface:3", "surface:5"}
+    std::vector<std::string> policies;  ///< registry names
+    std::vector<NoiseParams> noise;     ///< grid points
+
+    /** Flattens the grid; throws if any dimension is empty. */
+    std::vector<JobSpec> expand() const;
+
+    /**
+     * The seed job `index` runs under: derived from the campaign seed
+     * and the job's seed group — the (code, noise) point when
+     * pair_policy_seeds, the job index itself otherwise.
+     */
+    uint64_t job_seed(int index) const;
+
+    io::Json to_json() const;
+    static CampaignSpec from_json(const io::Json& j);
+
+    /** Builds every distinct code and policy once; throws on bad names. */
+    void validate() const;
+};
+
+/**
+ * The shard partition: shard i of N owns RNG stream s of every job iff
+ * s % N == i.  Streams — not jobs — are the partition unit, so (a) any N
+ * up to the stream count splits even a single-job campaign, and (b) the
+ * merge is exactly run()'s stream-order sum, making shard-then-merge
+ * bit-identical to a single-process run.
+ */
+struct ShardPlan {
+    /** Throws std::runtime_error unless 0 <= shard < n_shards. */
+    static void validate(int shard, int n_shards);
+
+    /** Ascending stream ids of `cfg` owned by `shard`. */
+    static std::vector<int> streams_for(const ExperimentConfig& cfg,
+                                        int shard, int n_shards);
+};
+
+/** `<out_dir>/<name>.job####.shard<i>of<N>.json` */
+std::string shard_result_path(const std::string& out_dir,
+                              const CampaignSpec& spec, int job_index,
+                              int shard, int n_shards);
+
+/** `<out_dir>/<name>.job####.merged.json` */
+std::string merged_result_path(const std::string& out_dir,
+                               const CampaignSpec& spec, int job_index);
+
+struct RunShardStats {
+    int jobs_run = 0;      ///< jobs (re)computed by this call
+    int jobs_resumed = 0;  ///< jobs skipped: valid result file present
+};
+
+/**
+ * Runs shard `shard` of `n_shards` over every job of the campaign,
+ * writing one result file per job into `out_dir` (created if needed).
+ *
+ * Checkpoint/resume: a job whose result file already exists with a
+ * matching config hash and shard geometry is skipped; a stale file (hash
+ * or geometry mismatch, or unparseable) is recomputed and overwritten.
+ *
+ * `threads` caps worker threads per job (0 = hardware concurrency).
+ */
+RunShardStats run_shard(const CampaignSpec& spec, int shard, int n_shards,
+                        const std::string& out_dir, int threads = 0,
+                        bool verbose = false);
+
+/**
+ * Deletes every shard and merged result file of the campaign in
+ * `out_dir` (missing files are fine).  The config hash fingerprints the
+ * CONFIGURATION, not the code: callers that must reflect the current
+ * binary — CI crash gates, the demo self-check, any regenerated figure —
+ * should start fresh instead of resuming a possibly stale-binary
+ * checkpoint.  The ported generators honour GLD_CAMPAIGN_FRESH=1 to do
+ * this (set by the CTest bench/smoke environments).
+ */
+void remove_results(const CampaignSpec& spec, int n_shards,
+                    const std::string& out_dir);
+
+/**
+ * Merges the per-stream partials of all `n_shards` result files per job,
+ * in ascending stream order, writes `<name>.job####.merged.json` files
+ * and returns the merged Metrics in job order.  Throws if any stream of
+ * any job is missing, duplicated, or was produced under a different
+ * config hash.
+ */
+std::vector<Metrics> merge_campaign(const CampaignSpec& spec, int n_shards,
+                                    const std::string& out_dir);
+
+/** Loads the merged Metrics of every job (merge_campaign output files). */
+std::vector<Metrics> load_merged(const CampaignSpec& spec,
+                                 const std::string& out_dir);
+
+/**
+ * Prints the aggregated per-job table (FN/FP/LRC per shot, DLP, LER) from
+ * the merged result files — the campaign-level replacement for the
+ * monolithic bench generators' output.
+ */
+void print_report(const CampaignSpec& spec, const std::string& out_dir);
+
+}  // namespace campaign
+}  // namespace gld
+
+#endif  // GLD_CAMPAIGN_CAMPAIGN_H_

@@ -1,0 +1,118 @@
+#include "campaign/registry.h"
+
+#include <stdexcept>
+
+#include "codes/bpc_code.h"
+#include "codes/color_code.h"
+#include "codes/hgp_code.h"
+#include "codes/surface_code.h"
+
+namespace gld {
+namespace campaign {
+
+namespace {
+
+int
+parse_distance(const std::string& spec, size_t colon)
+{
+    const std::string d_str = spec.substr(colon + 1);
+    // Length cap keeps std::stoi in range: its std::out_of_range is a
+    // logic_error, outside this module's runtime_error contract.
+    if (d_str.empty() || d_str.size() > 4 ||
+        d_str.find_first_not_of("0123456789") != std::string::npos)
+        throw std::runtime_error("campaign: malformed code distance in \"" +
+                                 spec + "\"");
+    const int d = std::stoi(d_str);
+    if (d < 3 || d % 2 == 0)
+        throw std::runtime_error("campaign: distance must be odd and >= 3 "
+                                 "in \"" + spec + "\"");
+    return d;
+}
+
+}  // namespace
+
+std::unique_ptr<CodeInstance>
+make_code(const std::string& spec)
+{
+    const size_t colon = spec.find(':');
+    const std::string family = spec.substr(0, colon);
+    if (family == "surface")
+        return std::make_unique<CodeInstance>(
+            SurfaceCode::make(parse_distance(spec, colon)));
+    if (family == "color")
+        return std::make_unique<CodeInstance>(
+            ColorCode::make(parse_distance(spec, colon)));
+    if (family == "hgp_hamming" || family == "bpc") {
+        // Fixed-construction families: a ":<d>" suffix would silently
+        // label identical codes as a fake distance sweep — reject it.
+        if (colon != std::string::npos)
+            throw std::runtime_error("campaign: \"" + family + "\" takes "
+                                     "no distance (got \"" + spec + "\")");
+        if (family == "hgp_hamming")
+            return std::make_unique<CodeInstance>(HgpCode::make_hamming());
+        return std::make_unique<CodeInstance>(BpcCode::make_default());
+    }
+    throw std::runtime_error("campaign: unknown code family \"" + family +
+                             "\" (want surface:<d>, color:<d>, hgp_hamming "
+                             "or bpc)");
+}
+
+namespace {
+
+// Single source of truth for the policy registry: the lookup in
+// make_policy and the listing in known_policies both walk this table,
+// so the two cannot drift when a policy is added.
+struct PolicyEntry {
+    const char* name;
+    PolicyFactory (*build)(const NoiseParams& np);
+};
+
+constexpr PolicyEntry kPolicyTable[] = {
+    {"no_lrc", [](const NoiseParams&) { return PolicyZoo::no_lrc(); }},
+    {"always_lrc",
+     [](const NoiseParams&) { return PolicyZoo::always_lrc(); }},
+    {"staggered", [](const NoiseParams&) { return PolicyZoo::staggered(); }},
+    {"mlr_only", [](const NoiseParams&) { return PolicyZoo::mlr_only(); }},
+    {"ideal", [](const NoiseParams&) { return PolicyZoo::ideal(); }},
+    {"eraser", [](const NoiseParams&) { return PolicyZoo::eraser(false); }},
+    {"eraser_m", [](const NoiseParams&) { return PolicyZoo::eraser(true); }},
+    {"gladiator",
+     [](const NoiseParams& np) { return PolicyZoo::gladiator(false, np); }},
+    {"gladiator_m",
+     [](const NoiseParams& np) { return PolicyZoo::gladiator(true, np); }},
+    {"gladiator_d",
+     [](const NoiseParams& np) { return PolicyZoo::gladiator_d(false, np); }},
+    {"gladiator_d_m",
+     [](const NoiseParams& np) { return PolicyZoo::gladiator_d(true, np); }},
+};
+
+}  // namespace
+
+PolicyFactory
+make_policy(const std::string& name, const NoiseParams& np)
+{
+    for (const PolicyEntry& entry : kPolicyTable) {
+        if (name == entry.name)
+            return entry.build(np);
+    }
+    std::string known;
+    for (const std::string& n : known_policies())
+        known += (known.empty() ? "" : ", ") + n;
+    throw std::runtime_error("campaign: unknown policy \"" + name +
+                             "\" (known: " + known + ")");
+}
+
+const std::vector<std::string>&
+known_policies()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const PolicyEntry& entry : kPolicyTable)
+            out.emplace_back(entry.name);
+        return out;
+    }();
+    return names;
+}
+
+}  // namespace campaign
+}  // namespace gld

@@ -1,0 +1,61 @@
+#ifndef GLD_CAMPAIGN_REGISTRY_H_
+#define GLD_CAMPAIGN_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/code_context.h"
+#include "runtime/experiment.h"
+
+namespace gld {
+namespace campaign {
+
+/**
+ * A code with its scheduled round circuit and pattern context, kept alive
+ * together (the context holds pointers into the code and circuit).
+ */
+struct CodeInstance {
+    CssCode code;
+    RoundCircuit rc;
+    CodeContext ctx;
+
+    explicit CodeInstance(CssCode c)
+        : code(std::move(c)), rc(code),
+          ctx(code, rc, CodeContext::default_scope(code))
+    {
+    }
+
+    // ctx holds raw pointers into this object's own code/rc: a default
+    // copy or move would leave them dangling into the source.
+    CodeInstance(const CodeInstance&) = delete;
+    CodeInstance& operator=(const CodeInstance&) = delete;
+};
+
+/**
+ * Builds a code from its campaign spec string:
+ *   "surface:<d>"  rotated surface code, odd distance d >= 3
+ *   "color:<d>"    triangular 6.6.6 color code
+ *   "hgp_hamming"  hypergraph product of [7,4] Hamming
+ *   "bpc"          the default bivariate-polynomial code
+ * Throws std::runtime_error on an unknown family or malformed distance.
+ */
+std::unique_ptr<CodeInstance> make_code(const std::string& spec);
+
+/**
+ * Policy registry keyed by the names a CampaignSpec uses:
+ *   no_lrc, always_lrc, staggered, mlr_only, ideal,
+ *   eraser, eraser_m, gladiator, gladiator_m, gladiator_d, gladiator_d_m
+ * (the _m suffix enables multi-level readout).  Gladiator factories are
+ * built against `np` — the same noise point the job simulates.
+ * Throws std::runtime_error on an unknown name.
+ */
+PolicyFactory make_policy(const std::string& name, const NoiseParams& np);
+
+/** Every name make_policy accepts, in presentation order. */
+const std::vector<std::string>& known_policies();
+
+}  // namespace campaign
+}  // namespace gld
+
+#endif  // GLD_CAMPAIGN_REGISTRY_H_

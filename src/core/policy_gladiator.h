@@ -29,6 +29,12 @@ class GladiatorPolicy : public Policy {
     }
     void observe(int round, const RoundResult& rr, LrcSchedule* out) override;
 
+    /** The (possibly shared) offline tables driving this policy. */
+    const std::shared_ptr<const PatternTableSet>& tables() const
+    {
+        return tables_;
+    }
+
   private:
     const CodeContext* ctx_;
     std::shared_ptr<const PatternTableSet> tables_;
@@ -54,6 +60,12 @@ class GladiatorDPolicy : public Policy {
     }
     void begin_shot() override;
     void observe(int round, const RoundResult& rr, LrcSchedule* out) override;
+
+    /** The (possibly shared) offline tables driving this policy. */
+    const std::shared_ptr<const PatternTableSet>& tables() const
+    {
+        return tables_;
+    }
 
   private:
     const CodeContext* ctx_;

@@ -1,0 +1,66 @@
+#ifndef GLD_IO_SERIALIZE_H_
+#define GLD_IO_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/json.h"
+#include "noise/noise_model.h"
+#include "runtime/experiment.h"
+#include "runtime/metrics.h"
+
+namespace gld {
+namespace io {
+
+/**
+ * Versioned JSON serialization of the experiment-facing structs.
+ *
+ * Format contract (kSerializeVersion):
+ *  - Every top-level document carries {"gld_version": 1}; readers reject
+ *    versions they do not understand instead of misparsing them.
+ *  - All doubles that participate in metric aggregation are encoded as
+ *    16-digit hex bit patterns ("0x3fb999999999999a") so that
+ *    save → load → merge is BIT-identical to an in-process merge; no
+ *    decimal round-trip is trusted anywhere on the merge path.
+ *  - uint64 seeds are hex strings too (JSON int64 cannot hold them).
+ *
+ * Bump kSerializeVersion when a field changes meaning; add new fields
+ * with defaults so old files keep loading.
+ */
+constexpr int kSerializeVersion = 1;
+
+/** IEEE-754 binary64 → "0x<16 hex digits>" (bit_cast, exact). */
+std::string f64_to_hex(double v);
+/** Inverse of f64_to_hex; throws std::runtime_error on malformed input. */
+double f64_from_hex(const std::string& s);
+
+/** uint64 → "0x<hex>" and back (used for seeds and hashes). */
+std::string u64_to_hex(uint64_t v);
+uint64_t u64_from_hex(const std::string& s);
+
+// --- NoiseParams. ---
+Json noise_to_json(const NoiseParams& np);
+NoiseParams noise_from_json(const Json& j);
+
+// --- ExperimentConfig (embeds NoiseParams). ---
+Json config_to_json(const ExperimentConfig& cfg);
+ExperimentConfig config_from_json(const Json& j);
+
+/**
+ * Stable 64-bit fingerprint of a config: FNV-1a over the canonical
+ * compact dump of config_to_json().  Used by checkpoint/resume to refuse
+ * result files written under a different configuration.
+ */
+uint64_t config_hash(const ExperimentConfig& cfg);
+
+// --- Metrics (bit-exact, including dlp_series). ---
+Json metrics_to_json(const Metrics& m);
+Metrics metrics_from_json(const Json& j);
+
+/** FNV-1a 64 over arbitrary bytes (exposed for campaign ids). */
+uint64_t fnv1a64(const std::string& bytes);
+
+}  // namespace io
+}  // namespace gld
+
+#endif  // GLD_IO_SERIALIZE_H_

@@ -1,6 +1,10 @@
 #include <cstddef>
 #include "runtime/experiment.h"
 
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "core/policy_eraser.h"
@@ -128,6 +132,62 @@ ExperimentRunner::run_shots(const PolicyFactory& factory, uint64_t stream,
     return m;
 }
 
+int
+ExperimentRunner::n_streams(const ExperimentConfig& cfg)
+{
+    if (cfg.shots <= 0)
+        return 0;
+    return std::min(cfg.shots, std::max(1, cfg.rng_streams));
+}
+
+int
+ExperimentRunner::stream_shots(const ExperimentConfig& cfg, int stream)
+{
+    const int streams = n_streams(cfg);
+    if (stream < 0 || stream >= streams)
+        return 0;
+    return cfg.shots / streams + (stream < cfg.shots % streams ? 1 : 0);
+}
+
+std::vector<Metrics>
+ExperimentRunner::run_partials(const PolicyFactory& factory,
+                               const std::vector<int>& streams) const
+{
+    const int total_streams = n_streams(cfg_);
+    for (int s : streams) {
+        if (s < 0 || s >= total_streams)
+            throw std::out_of_range(
+                "run_partials: stream id " + std::to_string(s) +
+                " outside [0, " + std::to_string(total_streams) + ")");
+    }
+
+    std::vector<Metrics> parts(streams.size());
+    const auto run_one = [&](size_t i) {
+        parts[i] = run_shots(factory, static_cast<uint64_t>(streams[i]),
+                             stream_shots(cfg_, streams[i]), graph_.get());
+    };
+
+    const int threads = static_cast<int>(std::min(
+        static_cast<size_t>(std::max(1, cfg_.threads)), streams.size()));
+    if (threads <= 1) {
+        for (size_t i = 0; i < streams.size(); ++i)
+            run_one(i);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&run_one, t, threads, &streams]() {
+                for (size_t i = static_cast<size_t>(t); i < streams.size();
+                     i += threads)
+                    run_one(i);
+            });
+        }
+        for (auto& th : pool)
+            th.join();
+    }
+    return parts;
+}
+
 Metrics
 ExperimentRunner::run(const PolicyFactory& factory) const
 {
@@ -136,38 +196,19 @@ ExperimentRunner::run(const PolicyFactory& factory) const
     // the thread count — and per-stream results are merged in stream
     // order.  The same seed therefore yields bit-identical Metrics for
     // any cfg_.threads (the per-stream accumulation order is fixed, and
-    // cross-stream sums always happen in the same order).
-    if (cfg_.shots <= 0) {
+    // cross-stream sums always happen in the same order).  Sharded runs
+    // reproduce this exactly: run_partials() on any partition of the
+    // stream set, merged in ascending stream order, is the same sum.
+    const int streams = n_streams(cfg_);
+    if (streams == 0) {
         Metrics m;
         m.rounds_per_shot = cfg_.rounds;
         return m;
     }
-    const int streams = std::min(cfg_.shots, std::max(1, cfg_.rng_streams));
-    const int per = cfg_.shots / streams;
-    const int extra = cfg_.shots % streams;
-    std::vector<Metrics> parts(streams);
-    const auto run_stream = [&](int s) {
-        const int n = per + (s < extra ? 1 : 0);
-        parts[s] = run_shots(factory, static_cast<uint64_t>(s), n,
-                             graph_.get());
-    };
-
-    const int threads = std::min(std::max(1, cfg_.threads), streams);
-    if (threads == 1) {
-        for (int s = 0; s < streams; ++s)
-            run_stream(s);
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (int t = 0; t < threads; ++t) {
-            pool.emplace_back([&run_stream, t, streams, threads]() {
-                for (int s = t; s < streams; s += threads)
-                    run_stream(s);
-            });
-        }
-        for (auto& th : pool)
-            th.join();
-    }
+    std::vector<int> all(streams);
+    for (int s = 0; s < streams; ++s)
+        all[s] = s;
+    const std::vector<Metrics> parts = run_partials(factory, all);
     Metrics m;
     for (const Metrics& part : parts)
         m.merge(part);
@@ -226,17 +267,57 @@ PolicyZoo::eraser(bool use_mlr)
 
 namespace {
 
+/**
+ * Immutable-table cache shared by every policy a factory builds.
+ *
+ * PatternTableSet::build() depends only on the context's pattern classes
+ * (plus the np/opt/two_round baked into the factory), so the cache is
+ * keyed on the CLASS STRUCTURE itself — never on the CodeContext address,
+ * which would alias recreated contexts.  Two contexts with equal class
+ * vectors get identical tables by construction, so sharing is exact: the
+ * rng_streams policies of one run() now share one build instead of
+ * re-deriving it per stream (ROADMAP: "Gladiator table builds are
+ * repeated per stream").
+ *
+ * Lookup and build run under one mutex: when all streams of a run()
+ * start at once, the first builds and the rest wait and share, instead
+ * of racing into rng_streams redundant builds.
+ */
+struct GladiatorTableCache {
+    struct Entry {
+        std::vector<PatternClass> classes;
+        std::shared_ptr<const PatternTableSet> tables;
+    };
+
+    std::shared_ptr<const PatternTableSet> get(const CodeContext& ctx,
+                                               const NoiseParams& np,
+                                               const SpecModelOptions& opt,
+                                               bool two_round)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        for (const Entry& e : entries) {
+            if (e.classes == ctx.classes())
+                return e.tables;
+        }
+        auto built = std::make_shared<const PatternTableSet>(
+            PatternTableSet::build(ctx, np, opt, two_round));
+        entries.push_back({ctx.classes(), built});
+        return built;
+    }
+
+    std::mutex mu;
+    std::vector<Entry> entries;
+};
+
 PolicyFactory
 make_gladiator_factory(bool use_mlr, const NoiseParams& np,
                        const SpecModelOptions& opt, bool two_round)
 {
-    // Tables are rebuilt per policy instantiation (milliseconds): the
-    // factory may be reused across different codes/contexts, so caching
-    // by context address would alias recreated contexts.
-    return [use_mlr, np, opt, two_round](
+    auto cache = std::make_shared<GladiatorTableCache>();
+    return [use_mlr, np, opt, two_round, cache](
                const CodeContext& ctx, uint64_t) -> std::unique_ptr<Policy> {
-        auto tables = std::make_shared<const PatternTableSet>(
-            PatternTableSet::build(ctx, np, opt, two_round));
+        std::shared_ptr<const PatternTableSet> tables =
+            cache->get(ctx, np, opt, two_round);
         if (two_round)
             return std::make_unique<GladiatorDPolicy>(ctx, tables, use_mlr);
         return std::make_unique<GladiatorPolicy>(ctx, tables, use_mlr);

@@ -58,6 +58,27 @@ class ExperimentRunner {
     /** Runs the experiment under the given policy. */
     Metrics run(const PolicyFactory& factory) const;
 
+    /**
+     * Runs only the requested RNG streams and returns one Metrics partial
+     * per stream, in the order requested.  This is the sharding hook: a
+     * remote shard computes the partials for its stream subset, and
+     * merging ALL streams' partials in ascending stream order reproduces
+     * run() bit-identically (same per-stream shot partition, same
+     * left-to-right double summation).  Stream ids must lie in
+     * [0, n_streams(config())).
+     */
+    std::vector<Metrics> run_partials(const PolicyFactory& factory,
+                                      const std::vector<int>& streams) const;
+
+    /**
+     * The effective RNG stream count of a config: rng_streams clamped to
+     * [1, shots] exactly as run() partitions it (0 when shots <= 0).
+     */
+    static int n_streams(const ExperimentConfig& cfg);
+
+    /** Shots assigned to `stream` under run()'s fixed partition. */
+    static int stream_shots(const ExperimentConfig& cfg, int stream);
+
     const CodeContext& ctx() const { return *ctx_; }
     const ExperimentConfig& config() const { return cfg_; }
 

@@ -1,0 +1,52 @@
+#ifndef GLD_TESTS_METRICS_TEST_UTIL_H_
+#define GLD_TESTS_METRICS_TEST_UTIL_H_
+
+// Shared bit-exact Metrics comparison for the reproducibility suites
+// (test_determinism, test_campaign): every double is compared by bit
+// pattern — 0.1 + 0.2 style drift must not pass.  When a field is added
+// to Metrics, extend expect_metrics_identical HERE so every suite that
+// asserts bit-identity checks it.
+
+#include <cstdint>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "runtime/metrics.h"
+
+namespace gld {
+namespace test {
+
+inline void
+expect_bits_eq(double a, double b, const char* what)
+{
+    uint64_t ab, bb;
+    std::memcpy(&ab, &a, sizeof(ab));
+    std::memcpy(&bb, &b, sizeof(bb));
+    EXPECT_EQ(ab, bb) << what << ": " << a << " vs " << b;
+}
+
+inline void
+expect_metrics_identical(const Metrics& a, const Metrics& b)
+{
+    EXPECT_EQ(a.shots, b.shots);
+    EXPECT_EQ(a.rounds_per_shot, b.rounds_per_shot);
+    expect_bits_eq(a.fn_total, b.fn_total, "fn_total");
+    expect_bits_eq(a.fp_total, b.fp_total, "fp_total");
+    expect_bits_eq(a.tp_total, b.tp_total, "tp_total");
+    expect_bits_eq(a.lrc_data_total, b.lrc_data_total, "lrc_data_total");
+    expect_bits_eq(a.lrc_check_total, b.lrc_check_total, "lrc_check_total");
+    expect_bits_eq(a.dlp_total, b.dlp_total, "dlp_total");
+    expect_bits_eq(a.check_leak_total, b.check_leak_total,
+                   "check_leak_total");
+    EXPECT_EQ(a.logical_errors, b.logical_errors);
+    EXPECT_EQ(a.decoded_shots, b.decoded_shots);
+    ASSERT_EQ(a.dlp_series.size(), b.dlp_series.size());
+    for (size_t i = 0; i < a.dlp_series.size(); ++i)
+        expect_bits_eq(a.dlp_series[i], b.dlp_series[i], "dlp_series[i]");
+}
+
+}  // namespace test
+}  // namespace gld
+
+#endif  // GLD_TESTS_METRICS_TEST_UTIL_H_

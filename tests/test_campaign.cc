@@ -1,0 +1,326 @@
+// Campaign subsystem: grid expansion, shard planning, checkpoint/resume,
+// and the acceptance contract — plan/run over 3 shards + merge is
+// BIT-identical to the equivalent single-process ExperimentRunner::run().
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.h"
+#include "campaign/registry.h"
+#include "io/serialize.h"
+#include "metrics_test_util.h"
+
+namespace gld {
+namespace campaign {
+namespace {
+
+using test::expect_bits_eq;
+using test::expect_metrics_identical;
+
+CampaignSpec
+small_spec(const std::string& name)
+{
+    CampaignSpec spec;
+    spec.name = name;
+    spec.seed = 0xCAFE5EED1234ull;
+    spec.shots = 45;  // not divisible by rng_streams: exercises the
+    spec.rounds = 7;  // uneven per-stream shot partition
+    spec.rng_streams = 8;
+    spec.leakage_sampling = true;
+    spec.compute_ler = true;
+    spec.record_dlp_series = true;
+    spec.codes = {"surface:3"};
+    spec.policies = {"eraser_m", "gladiator_m"};
+    spec.noise = {NoiseParams::standard(1e-3, 0.1)};
+    return spec;
+}
+
+std::string
+fresh_dir(const std::string& tag)
+{
+    // Unique per test-binary execution: checkpoint files persist on disk
+    // by design, so a rerun reusing yesterday's directory would resume
+    // (valid results!) where these tests assert a cold start.
+    return ::testing::TempDir() + "gld_campaign_" +
+           std::to_string(::getpid()) + "_" + tag;
+}
+
+TEST(CampaignSpec, ExpandIsDeterministicWithDistinctSeeds)
+{
+    CampaignSpec spec = small_spec("expand");
+    spec.codes = {"surface:3", "color:5"};
+    spec.noise = {NoiseParams::standard(1e-3, 0.1),
+                  NoiseParams::standard(2e-3, 0.1)};
+    const std::vector<JobSpec> a = spec.expand();
+    const std::vector<JobSpec> b = spec.expand();
+    ASSERT_EQ(a.size(), 2u * 2u * 2u);
+    std::set<uint64_t> seeds;
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].index, static_cast<int>(i));
+        EXPECT_EQ(a[i].code, b[i].code);
+        EXPECT_EQ(a[i].policy, b[i].policy);
+        EXPECT_EQ(a[i].cfg.seed, b[i].cfg.seed);
+        EXPECT_EQ(a[i].cfg.seed, spec.job_seed(a[i].index));
+        seeds.insert(a[i].cfg.seed);
+    }
+    // Default paired design: every policy at a (code, noise) grid point
+    // shares one seed (identical noise realizations), and the seeds of
+    // different grid points are pairwise distinct.
+    EXPECT_EQ(seeds.size(), a.size() / spec.policies.size());
+    EXPECT_EQ(a[0].cfg.seed, a[1].cfg.seed);
+    EXPECT_NE(a[0].cfg.seed, a[2].cfg.seed);
+    // Unpaired: every job gets its own seed.
+    spec.pair_policy_seeds = false;
+    const std::vector<JobSpec> u = spec.expand();
+    std::set<uint64_t> useeds;
+    for (const JobSpec& job : u)
+        useeds.insert(job.cfg.seed);
+    EXPECT_EQ(useeds.size(), u.size());
+    // Grid order contract: codes outer, noise middle, policies inner.
+    EXPECT_EQ(a[0].code, "surface:3");
+    EXPECT_EQ(a[0].policy, "eraser_m");
+    EXPECT_EQ(a[1].policy, "gladiator_m");
+    expect_bits_eq(a[2].cfg.np.p, 2e-3, "noise grid order");
+    EXPECT_EQ(a[4].code, "color:5");
+}
+
+TEST(CampaignSpec, JsonRoundTripPreservesJobsAndHashes)
+{
+    CampaignSpec spec = small_spec("json");
+    spec.codes = {"surface:3", "hgp_hamming"};
+    const CampaignSpec back =
+        CampaignSpec::from_json(io::Json::parse(spec.to_json().dump(2)));
+    const std::vector<JobSpec> a = spec.expand();
+    const std::vector<JobSpec> b = back.expand();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].code, b[i].code);
+        EXPECT_EQ(a[i].policy, b[i].policy);
+        EXPECT_EQ(io::config_hash(a[i].cfg), io::config_hash(b[i].cfg));
+    }
+}
+
+TEST(CampaignSpec, ValidationRejectsBadNames)
+{
+    CampaignSpec spec = small_spec("bad");
+    spec.policies = {"eraser_m", "definitely_not_a_policy"};
+    EXPECT_THROW(spec.validate(), std::runtime_error);
+    spec = small_spec("bad2");
+    spec.codes = {"surface:4"};  // even distance
+    EXPECT_THROW(spec.validate(), std::runtime_error);
+    spec = small_spec("bad2b");
+    // Fixed-construction family: a distance suffix would fake a sweep.
+    spec.codes = {"hgp_hamming:3"};
+    EXPECT_THROW(spec.validate(), std::runtime_error);
+    spec = small_spec("bad3");
+    spec.codes.clear();
+    EXPECT_THROW(spec.expand(), std::runtime_error);
+    EXPECT_NO_THROW(small_spec("good").validate());
+}
+
+TEST(ShardPlan, StreamsPartitionExactly)
+{
+    ExperimentConfig cfg;
+    cfg.shots = 45;
+    cfg.rng_streams = 8;
+    const int total = ExperimentRunner::n_streams(cfg);
+    ASSERT_EQ(total, 8);
+    for (int n_shards : {1, 2, 3, 5, 8, 16}) {
+        SCOPED_TRACE(n_shards);
+        std::set<int> seen;
+        long shots = 0;
+        for (int shard = 0; shard < n_shards; ++shard) {
+            for (int s : ShardPlan::streams_for(cfg, shard, n_shards)) {
+                EXPECT_TRUE(seen.insert(s).second) << "stream " << s;
+                shots += ExperimentRunner::stream_shots(cfg, s);
+            }
+        }
+        EXPECT_EQ(static_cast<int>(seen.size()), total);
+        EXPECT_EQ(shots, cfg.shots);  // every shot exactly once
+    }
+    EXPECT_THROW(ShardPlan::validate(-1, 3), std::runtime_error);
+    EXPECT_THROW(ShardPlan::validate(3, 3), std::runtime_error);
+    EXPECT_THROW(ShardPlan::validate(0, 0), std::runtime_error);
+}
+
+TEST(Merge, ExactlyRepresentableTotalsAreAssociative)
+{
+    // Metric totals are counter-like sums of small rationals; for
+    // integer-valued doubles IEEE addition is exact, so any grouping of
+    // merges must agree bit-for-bit.  (Arbitrary-double grouping is NOT
+    // associative — which is exactly why merge_campaign folds partials
+    // in ascending stream order rather than per-shard.)
+    const auto mk = [](long shots, double fn, double dlp, long err) {
+        Metrics m;
+        m.shots = shots;
+        m.rounds_per_shot = 7;
+        m.fn_total = fn;
+        m.dlp_total = dlp;
+        m.logical_errors = err;
+        m.dlp_series = {fn, dlp};
+        return m;
+    };
+    const Metrics a = mk(10, 3, 7, 1);
+    const Metrics b = mk(20, 5, 11, 0);
+    const Metrics c = mk(15, 8, 2, 2);
+
+    Metrics ab = a;
+    ab.merge(b);
+    Metrics ab_c = ab;
+    ab_c.merge(c);
+
+    Metrics bc = b;
+    bc.merge(c);
+    Metrics a_bc = a;
+    a_bc.merge(bc);
+
+    expect_metrics_identical(ab_c, a_bc);
+    EXPECT_EQ(ab_c.shots, 45);
+    expect_bits_eq(ab_c.fn_total, 16.0, "fn sum");
+}
+
+TEST(Merge, StreamOrderedFoldMatchesRunFoldForAnyGrouping)
+{
+    // The load-bearing property behind shard-then-merge: reassembling
+    // per-stream partials in ascending stream order gives run()'s exact
+    // left-fold, no matter how streams were grouped into shards.
+    const auto code = make_code("surface:3");
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(1e-3, 0.1);
+    cfg.rounds = 6;
+    cfg.shots = 29;
+    cfg.seed = 0xFEED5EEDull;
+    cfg.leakage_sampling = true;
+    cfg.record_dlp_series = true;
+    cfg.rng_streams = 8;
+    const ExperimentRunner runner(code->ctx, cfg);
+    const PolicyFactory factory = PolicyZoo::eraser(true);
+
+    const Metrics direct = runner.run(factory);
+
+    // "Shards" of streams in scrambled request order.
+    const std::vector<std::vector<int>> groups = {{5, 1}, {0, 6, 3}, {7, 2, 4}};
+    std::vector<Metrics> by_stream(8);
+    for (const std::vector<int>& g : groups) {
+        const std::vector<Metrics> parts = runner.run_partials(factory, g);
+        for (size_t i = 0; i < g.size(); ++i)
+            by_stream[static_cast<size_t>(g[i])] = parts[i];
+    }
+    Metrics merged;
+    for (const Metrics& part : by_stream)
+        merged.merge(part);
+    expect_metrics_identical(direct, merged);
+}
+
+// The subsystem's acceptance criterion, end to end through the library
+// the CLI drives: plan (expand) -> run --shard {0,1,2}/3 (checkpoint
+// files in a scratch dir) -> merge -> bit-identical to single-process
+// ExperimentRunner::run() for every job of the campaign.
+TEST(ShardEquivalence, ThreeShardsMergeBitIdenticalToSingleProcess)
+{
+    const CampaignSpec spec = small_spec("equiv");
+    const std::string dir = fresh_dir("equiv");
+    const int n_shards = 3;
+
+    for (int shard = 0; shard < n_shards; ++shard) {
+        const RunShardStats stats =
+            run_shard(spec, shard, n_shards, dir, /*threads=*/2);
+        EXPECT_EQ(stats.jobs_run, 2);
+        EXPECT_EQ(stats.jobs_resumed, 0);
+    }
+    const std::vector<Metrics> merged = merge_campaign(spec, n_shards, dir);
+    const std::vector<JobSpec> jobs = spec.expand();
+    ASSERT_EQ(merged.size(), jobs.size());
+
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].policy);
+        const auto code = make_code(jobs[i].code);
+        const ExperimentRunner runner(code->ctx, jobs[i].cfg);
+        const Metrics direct =
+            runner.run(make_policy(jobs[i].policy, jobs[i].cfg.np));
+        expect_metrics_identical(direct, merged[i]);
+        EXPECT_EQ(direct.shots, spec.shots);
+        EXPECT_GT(direct.decoded_shots, 0);  // LER path exercised too
+    }
+
+    // load_merged reads back what merge wrote, bit-for-bit.
+    const std::vector<Metrics> loaded = load_merged(spec, dir);
+    ASSERT_EQ(loaded.size(), merged.size());
+    for (size_t i = 0; i < merged.size(); ++i)
+        expect_metrics_identical(merged[i], loaded[i]);
+}
+
+TEST(Resume, SkipsValidRecomputesStaleAndCorrupt)
+{
+    const CampaignSpec spec = small_spec("resume");
+    const std::string dir = fresh_dir("resume");
+
+    RunShardStats first = run_shard(spec, 0, 2, dir, 1);
+    EXPECT_EQ(first.jobs_run, 2);
+    EXPECT_EQ(first.jobs_resumed, 0);
+
+    // Same spec again: everything resumes, nothing recomputes.
+    RunShardStats second = run_shard(spec, 0, 2, dir, 1);
+    EXPECT_EQ(second.jobs_run, 0);
+    EXPECT_EQ(second.jobs_resumed, 2);
+
+    // A changed config (different hash) invalidates the checkpoints.
+    CampaignSpec changed = spec;
+    changed.rounds += 1;
+    RunShardStats third = run_shard(changed, 0, 2, dir, 1);
+    EXPECT_EQ(third.jobs_run, 2);
+    EXPECT_EQ(third.jobs_resumed, 0);
+
+    // A garbled result file is recomputed, not trusted.
+    const std::string victim = shard_result_path(dir, changed, 0, 0, 2);
+    io::write_file_atomic(victim, "{\"gld_version\": 1, truncated");
+    RunShardStats fourth = run_shard(changed, 0, 2, dir, 1);
+    EXPECT_EQ(fourth.jobs_run, 1);
+    EXPECT_EQ(fourth.jobs_resumed, 1);
+
+    // Swapping the policy order leaves every job's CONFIG unchanged
+    // (paired seeds: both policies share one seed, and policy is not
+    // part of ExperimentConfig), so only the job-identity check stops
+    // the old results from being resumed under the wrong label.
+    CampaignSpec swapped = changed;
+    std::swap(swapped.policies[0], swapped.policies[1]);
+    EXPECT_EQ(io::config_hash(swapped.expand()[0].cfg),
+              io::config_hash(changed.expand()[0].cfg));
+    RunShardStats fifth = run_shard(swapped, 0, 2, dir, 1);
+    EXPECT_EQ(fifth.jobs_run, 2);
+    EXPECT_EQ(fifth.jobs_resumed, 0);
+}
+
+TEST(Merge, RefusesMissingShardsAndForeignConfigs)
+{
+    const CampaignSpec spec = small_spec("strict");
+    const std::string dir = fresh_dir("strict");
+    run_shard(spec, 0, 2, dir, 1);
+    // Shard 1 of 2 never ran.
+    EXPECT_THROW(merge_campaign(spec, 2, dir), std::runtime_error);
+
+    run_shard(spec, 1, 2, dir, 1);
+    EXPECT_NO_THROW(merge_campaign(spec, 2, dir));
+
+    // Results on disk from a different config must be rejected, not
+    // silently merged.
+    CampaignSpec other = spec;
+    other.seed ^= 0xF00Dull;
+    EXPECT_THROW(merge_campaign(other, 2, dir), std::runtime_error);
+
+    // Same config, different job identity (policy order swapped under
+    // paired seeds): merge must refuse to relabel the results.
+    CampaignSpec swapped = spec;
+    std::swap(swapped.policies[0], swapped.policies[1]);
+    EXPECT_THROW(merge_campaign(swapped, 2, dir), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace campaign
+}  // namespace gld

@@ -4,47 +4,18 @@
 // a fixed set of RNG streams and merges them in stream order, so neither
 // scheduling nor cross-thread reduction order can leak into the result.
 
-#include <cstring>
-
 #include <gtest/gtest.h>
 
 #include "codes/color_code.h"
 #include "codes/hgp_code.h"
 #include "codes/surface_code.h"
+#include "metrics_test_util.h"
 #include "runtime/experiment.h"
 
 namespace gld {
 namespace {
 
-// Bit-exact double comparison: 0.1 + 0.2 style drift must not pass.
-void
-expect_bits_eq(double a, double b, const char* what)
-{
-    uint64_t ab, bb;
-    std::memcpy(&ab, &a, sizeof(ab));
-    std::memcpy(&bb, &b, sizeof(bb));
-    EXPECT_EQ(ab, bb) << what << ": " << a << " vs " << b;
-}
-
-void
-expect_metrics_identical(const Metrics& a, const Metrics& b)
-{
-    EXPECT_EQ(a.shots, b.shots);
-    EXPECT_EQ(a.rounds_per_shot, b.rounds_per_shot);
-    expect_bits_eq(a.fn_total, b.fn_total, "fn_total");
-    expect_bits_eq(a.fp_total, b.fp_total, "fp_total");
-    expect_bits_eq(a.tp_total, b.tp_total, "tp_total");
-    expect_bits_eq(a.lrc_data_total, b.lrc_data_total, "lrc_data_total");
-    expect_bits_eq(a.lrc_check_total, b.lrc_check_total, "lrc_check_total");
-    expect_bits_eq(a.dlp_total, b.dlp_total, "dlp_total");
-    expect_bits_eq(a.check_leak_total, b.check_leak_total,
-                   "check_leak_total");
-    EXPECT_EQ(a.logical_errors, b.logical_errors);
-    EXPECT_EQ(a.decoded_shots, b.decoded_shots);
-    ASSERT_EQ(a.dlp_series.size(), b.dlp_series.size());
-    for (size_t i = 0; i < a.dlp_series.size(); ++i)
-        expect_bits_eq(a.dlp_series[i], b.dlp_series[i], "dlp_series[i]");
-}
+using test::expect_metrics_identical;
 
 Metrics
 run_with_threads(const CodeContext& ctx, ExperimentConfig cfg, int threads,
@@ -99,6 +70,51 @@ TEST(Determinism, ColorCodeBitIdenticalAcrossThreads)
 TEST(Determinism, HgpCodeBitIdenticalAcrossThreads)
 {
     check_code(HgpCode::make_hamming(), /*compute_ler=*/false);
+}
+
+// Sharding extension of the same contract: the per-stream partials
+// exposed for the campaign subsystem, computed shard-by-shard (stream s
+// on "shard" s % 3) at different thread counts, merged in ascending
+// stream order, must be bit-identical to run().
+TEST(Determinism, ShardedPartialsMergeBitIdenticalToRun)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(1e-3, 0.1);
+    cfg.rounds = 10;
+    cfg.shots = 30;
+    cfg.seed = 0xD00D5EEDull;
+    cfg.leakage_sampling = true;
+    cfg.record_dlp_series = true;
+    cfg.compute_ler = true;
+
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+    const Metrics base = run_with_threads(ctx, cfg, 1, factory);
+
+    const int n_streams = ExperimentRunner::n_streams(cfg);
+    ASSERT_GT(n_streams, 1);
+    for (int threads : {1, 2}) {
+        SCOPED_TRACE(threads);
+        cfg.threads = threads;
+        const ExperimentRunner runner(ctx, cfg);
+        std::vector<Metrics> by_stream(static_cast<size_t>(n_streams));
+        for (int shard = 0; shard < 3; ++shard) {
+            std::vector<int> streams;
+            for (int s = shard; s < n_streams; s += 3)
+                streams.push_back(s);
+            const std::vector<Metrics> parts =
+                runner.run_partials(factory, streams);
+            for (size_t i = 0; i < streams.size(); ++i)
+                by_stream[static_cast<size_t>(streams[i])] = parts[i];
+        }
+        Metrics merged;
+        for (const Metrics& part : by_stream)
+            merged.merge(part);
+        expect_metrics_identical(base, merged);
+    }
 }
 
 // The speculation policies draw from their own seeded RNG streams; make

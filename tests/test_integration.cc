@@ -89,8 +89,10 @@ constexpr Combo kCombos[] = {
 
 INSTANTIATE_TEST_SUITE_P(
     AllCombos, CodePolicyMatrix, ::testing::ValuesIn(kCombos),
-    [](const ::testing::TestParamInfo<Combo>& info) {
-        return std::string(info.param.code) + "_" + info.param.policy;
+    // Named `pinfo`: gtest's macro expansion has its own `info` parameter
+    // which a lambda parameter named `info` would shadow (-Wshadow).
+    [](const ::testing::TestParamInfo<Combo>& pinfo) {
+        return std::string(pinfo.param.code) + "_" + pinfo.param.policy;
     });
 
 TEST(Integration, MitigationBeatsNoMitigationOnLeakage)

@@ -5,6 +5,7 @@
 #include "core/policy_eraser.h"
 #include "core/policy_gladiator.h"
 #include "core/policy_static.h"
+#include "runtime/experiment.h"
 
 namespace gld {
 namespace {
@@ -244,6 +245,53 @@ TEST(MlrOnlyPolicy, SchedulesOnlyFlaggedAncillas)
     EXPECT_TRUE(out.data_qubits.empty());
     ASSERT_EQ(out.checks.size(), 1u);
     EXPECT_EQ(out.checks[0], 5);
+}
+
+TEST(GladiatorFactory, SharesOneTableSetPerContext)
+{
+    // ROADMAP satellite: every policy a factory builds for the same
+    // context shares ONE immutable PatternTableSet (one offline build per
+    // run(), not one per RNG stream) — while different codes through the
+    // same factory still get their own tables.
+    const NoiseParams np = NoiseParams::standard(1e-3, 0.1);
+    const PolicyFactory factory = PolicyZoo::gladiator(true, np);
+
+    const CssCode surf = SurfaceCode::make(3);
+    const RoundCircuit surf_rc(surf);
+    const CodeContext surf_ctx(surf, surf_rc,
+                               CodeContext::default_scope(surf));
+    const auto p1 = factory(surf_ctx, 1);
+    const auto p2 = factory(surf_ctx, 2);
+    const auto* g1 = dynamic_cast<const GladiatorPolicy*>(p1.get());
+    const auto* g2 = dynamic_cast<const GladiatorPolicy*>(p2.get());
+    ASSERT_NE(g1, nullptr);
+    ASSERT_NE(g2, nullptr);
+    EXPECT_EQ(g1->tables().get(), g2->tables().get());
+
+    const CssCode color = ColorCode::make(3);
+    const RoundCircuit color_rc(color);
+    const CodeContext color_ctx(color, color_rc,
+                                CodeContext::default_scope(color));
+    const auto p3 = factory(color_ctx, 3);
+    const auto* g3 = dynamic_cast<const GladiatorPolicy*>(p3.get());
+    ASSERT_NE(g3, nullptr);
+    EXPECT_NE(g3->tables().get(), g1->tables().get());
+
+    // A RECREATED context with the same class structure may share the
+    // cached tables: they are identical by construction.
+    const CodeContext surf_ctx2(surf, surf_rc,
+                                CodeContext::default_scope(surf));
+    const auto p4 = factory(surf_ctx2, 4);
+    const auto* g4 = dynamic_cast<const GladiatorPolicy*>(p4.get());
+    ASSERT_NE(g4, nullptr);
+    EXPECT_EQ(g4->tables().get(), g1->tables().get());
+
+    // Each factory instance has its own cache (np may differ).
+    const PolicyFactory other = PolicyZoo::gladiator(true, np);
+    const auto p5 = other(surf_ctx, 5);
+    const auto* g5 = dynamic_cast<const GladiatorPolicy*>(p5.get());
+    ASSERT_NE(g5, nullptr);
+    EXPECT_NE(g5->tables().get(), g1->tables().get());
 }
 
 }  // namespace

@@ -1,0 +1,317 @@
+// gld_campaign — the campaign subsystem's command-line driver.
+//
+// A campaign is a declarative sweep manifest (JSON, see `init`) expanded
+// into deterministic jobs; each job's RNG streams are partitioned across
+// N shards, shards run anywhere/anytime (results checkpoint to files and
+// resume for free), and `merge` reassembles per-stream partials in stream
+// order — bit-identical to running every job single-process.
+//
+//   gld_campaign init                              > spec.json
+//   gld_campaign plan   --spec spec.json --shards 3
+//   gld_campaign run    --spec spec.json --shard 0/3 --out results/
+//   gld_campaign run    --spec spec.json --shard 1/3 --out results/
+//   gld_campaign run    --spec spec.json --shard 2/3 --out results/
+//   gld_campaign merge  --spec spec.json --shards 3  --out results/
+//   gld_campaign report --spec spec.json --out results/
+//   gld_campaign demo   --out /tmp/gld_demo   # end-to-end self-check
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/registry.h"
+#include "io/serialize.h"
+#include "util/table.h"
+
+using namespace gld;
+using campaign::CampaignSpec;
+using campaign::JobSpec;
+using campaign::ShardPlan;
+
+namespace {
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  init                 print an example campaign spec to stdout\n"
+        "  plan                 expand the grid; show jobs and shard load\n"
+        "  run                  run one shard, writing result files\n"
+        "  merge                merge all shards' results (stream order)\n"
+        "  report               print the aggregated per-job table\n"
+        "  demo                 tiny built-in campaign: run 3 shards,\n"
+        "                       merge, verify vs single-process, report\n"
+        "\n"
+        "options:\n"
+        "  --spec <file>        campaign spec JSON (plan/run/merge/report)\n"
+        "  --shard <i>/<N>      this shard's index / total shards (run)\n"
+        "  --shards <N>         total shards (plan/merge)\n"
+        "  --out <dir>          result directory (default: ./campaign_out)\n"
+        "  --threads <T>        worker threads per job (default: auto)\n"
+        "  -v                   verbose per-job progress\n",
+        argv0);
+    return 2;
+}
+
+struct Args {
+    std::string command;
+    std::string spec_path;
+    std::string out_dir = "campaign_out";
+    int shard = -1;
+    int n_shards = 1;
+    int threads = 0;
+    bool verbose = false;
+};
+
+Args
+parse_args(int argc, char** argv)
+{
+    Args a;
+    a.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto need_value = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc)
+                throw std::runtime_error(std::string(flag) +
+                                         " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--spec") {
+            a.spec_path = need_value("--spec");
+        } else if (arg == "--out") {
+            a.out_dir = need_value("--out");
+        } else if (arg == "--threads") {
+            a.threads = std::stoi(need_value("--threads"));
+        } else if (arg == "--shards") {
+            a.n_shards = std::stoi(need_value("--shards"));
+        } else if (arg == "--shard") {
+            const std::string v = need_value("--shard");
+            const size_t slash = v.find('/');
+            if (slash == std::string::npos)
+                throw std::runtime_error("--shard wants <i>/<N>, e.g. 0/3");
+            a.shard = std::stoi(v.substr(0, slash));
+            a.n_shards = std::stoi(v.substr(slash + 1));
+        } else if (arg == "-v" || arg == "--verbose") {
+            a.verbose = true;
+        } else {
+            throw std::runtime_error("unknown option " + arg);
+        }
+    }
+    return a;
+}
+
+CampaignSpec
+load_spec(const Args& a)
+{
+    if (a.spec_path.empty())
+        throw std::runtime_error("--spec <file> is required for '" +
+                                 a.command + "'");
+    return CampaignSpec::from_json(
+        io::Json::parse(io::read_file(a.spec_path)));
+}
+
+CampaignSpec
+example_spec()
+{
+    CampaignSpec spec;
+    spec.name = "example";
+    spec.seed = 0x5EED5EEDull;
+    spec.shots = 240;
+    spec.rounds = 30;
+    spec.rng_streams = 8;
+    spec.leakage_sampling = true;
+    spec.compute_ler = false;
+    spec.record_dlp_series = true;
+    spec.codes = {"surface:3", "surface:5", "color:5"};
+    spec.policies = {"eraser_m", "gladiator_m", "gladiator_d_m"};
+    spec.noise = {NoiseParams::standard(1e-3, 0.1),
+                  NoiseParams::standard(2e-3, 0.1)};
+    return spec;
+}
+
+int
+cmd_init()
+{
+    std::printf("%s\n", example_spec().to_json().dump(2).c_str());
+    return 0;
+}
+
+int
+cmd_plan(const Args& a)
+{
+    const CampaignSpec spec = load_spec(a);
+    spec.validate();
+    const std::vector<JobSpec> jobs = spec.expand();
+
+    std::printf("campaign \"%s\": %zu job(s), %d shard(s)\n\n",
+                spec.name.c_str(), jobs.size(), a.n_shards);
+    TablePrinter t({"Job", "Code", "Policy", "p", "lr", "Shots", "Rounds",
+                    "Streams", "Seed"});
+    for (const JobSpec& job : jobs) {
+        t.add_row({std::to_string(job.index), job.code, job.policy,
+                   TablePrinter::sci(job.cfg.np.p, 1),
+                   TablePrinter::fmt(job.cfg.np.leak_ratio, 2),
+                   std::to_string(job.cfg.shots),
+                   std::to_string(job.cfg.rounds),
+                   std::to_string(ExperimentRunner::n_streams(job.cfg)),
+                   io::u64_to_hex(job.cfg.seed)});
+    }
+    t.print();
+
+    std::printf("\nper-shard load (streams x jobs):\n");
+    for (int shard = 0; shard < a.n_shards; ++shard) {
+        long shots = 0;
+        for (const JobSpec& job : jobs) {
+            for (int s : ShardPlan::streams_for(job.cfg, shard, a.n_shards))
+                shots += ExperimentRunner::stream_shots(job.cfg, s);
+        }
+        std::printf("  shard %d/%d: %ld shot(s)\n", shard, a.n_shards,
+                    shots);
+    }
+    return 0;
+}
+
+int
+cmd_run(const Args& a)
+{
+    if (a.shard < 0)
+        throw std::runtime_error("run needs --shard <i>/<N>");
+    const CampaignSpec spec = load_spec(a);
+    spec.validate();
+    std::printf("campaign \"%s\": running shard %d/%d into %s\n",
+                spec.name.c_str(), a.shard, a.n_shards, a.out_dir.c_str());
+    const campaign::RunShardStats stats = campaign::run_shard(
+        spec, a.shard, a.n_shards, a.out_dir, a.threads, a.verbose);
+    std::printf("shard %d/%d done: %d job(s) run, %d resumed from "
+                "checkpoint\n",
+                a.shard, a.n_shards, stats.jobs_run, stats.jobs_resumed);
+    return 0;
+}
+
+int
+cmd_merge(const Args& a)
+{
+    const CampaignSpec spec = load_spec(a);
+    const std::vector<Metrics> merged =
+        campaign::merge_campaign(spec, a.n_shards, a.out_dir);
+    std::printf("campaign \"%s\": merged %zu job(s) from %d shard(s) into "
+                "%s\n",
+                spec.name.c_str(), merged.size(), a.n_shards,
+                a.out_dir.c_str());
+    return 0;
+}
+
+int
+cmd_report(const Args& a)
+{
+    const CampaignSpec spec = load_spec(a);
+    std::printf("campaign \"%s\" — aggregated results\n\n",
+                spec.name.c_str());
+    campaign::print_report(spec, a.out_dir);
+    return 0;
+}
+
+// End-to-end self-check: shard a tiny campaign 3 ways, merge, and demand
+// bit-identity against the single-process ExperimentRunner::run() — the
+// acceptance contract of the subsystem, runnable anywhere in seconds.
+int
+cmd_demo(const Args& a)
+{
+    CampaignSpec spec;
+    spec.name = "demo";
+    spec.seed = 0xD46005EEDull;
+    spec.shots = 45;
+    spec.rounds = 8;
+    spec.rng_streams = 8;
+    spec.leakage_sampling = true;
+    spec.compute_ler = true;
+    spec.record_dlp_series = true;
+    spec.codes = {"surface:3"};
+    spec.policies = {"eraser_m", "gladiator_m"};
+    spec.noise = {NoiseParams::standard(1e-3, 0.1)};
+
+    const int n_shards = 3;
+    io::make_dirs(a.out_dir);
+    // The demo is a self-CHECK of the current binary: never resume
+    // checkpoints a previous (possibly different) build left in out_dir —
+    // the config hash fingerprints the configuration, not the code, so a
+    // stale file would make the bit-identity referee below fail spuriously.
+    campaign::remove_results(spec, n_shards, a.out_dir);
+    const std::string spec_path = a.out_dir + "/demo.spec.json";
+    io::write_file_atomic(spec_path, spec.to_json().dump(2) + "\n");
+    std::printf("demo campaign: %s\n", spec_path.c_str());
+
+    for (int shard = 0; shard < n_shards; ++shard) {
+        const campaign::RunShardStats stats = campaign::run_shard(
+            spec, shard, n_shards, a.out_dir, a.threads, a.verbose);
+        std::printf("  shard %d/%d: %d run, %d resumed\n", shard, n_shards,
+                    stats.jobs_run, stats.jobs_resumed);
+    }
+    const std::vector<Metrics> merged =
+        campaign::merge_campaign(spec, n_shards, a.out_dir);
+
+    // Referee: the same jobs, single process.
+    const std::vector<JobSpec> jobs = spec.expand();
+    int mismatches = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        auto code = campaign::make_code(jobs[i].code);
+        const ExperimentRunner runner(code->ctx, jobs[i].cfg);
+        const Metrics direct =
+            runner.run(campaign::make_policy(jobs[i].policy,
+                                             jobs[i].cfg.np));
+        const bool same = io::metrics_to_json(direct).dump() ==
+                          io::metrics_to_json(merged[i]).dump();
+        std::printf("  job %04d [%s / %s]: shard-merge %s single-process\n",
+                    jobs[i].index, jobs[i].code.c_str(),
+                    jobs[i].policy.c_str(),
+                    same ? "== (bit-identical)" : "!=");
+        mismatches += same ? 0 : 1;
+    }
+    std::printf("\n");
+    campaign::print_report(spec, a.out_dir);
+    if (mismatches > 0) {
+        std::fprintf(stderr, "\nDEMO FAILED: %d job(s) diverged\n",
+                     mismatches);
+        return 1;
+    }
+    std::printf("\ndemo OK: shard-then-merge is bit-identical to a "
+                "single-process run.\n");
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    try {
+        const Args a = parse_args(argc, argv);
+        if (a.command == "init")
+            return cmd_init();
+        if (a.command == "plan")
+            return cmd_plan(a);
+        if (a.command == "run")
+            return cmd_run(a);
+        if (a.command == "merge")
+            return cmd_merge(a);
+        if (a.command == "report")
+            return cmd_report(a);
+        if (a.command == "demo")
+            return cmd_demo(a);
+        std::fprintf(stderr, "unknown command \"%s\"\n\n",
+                     a.command.c_str());
+        return usage(argv[0]);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "gld_campaign: %s\n", e.what());
+        return 1;
+    }
+}

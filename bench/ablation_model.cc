@@ -29,7 +29,7 @@ run_point(const CodeBundle& bundle, const NoiseParams& np,
     cfg.rounds = 70;
     cfg.shots = BenchConfig::shots(150);
     cfg.leakage_sampling = true;
-    cfg.threads = BenchConfig::threads();
+    apply_env(&cfg);
     ExperimentRunner runner(bundle.ctx, cfg);
     const Metrics m = runner.run(PolicyZoo::gladiator(true, np, opt));
     t->add_row({label,

@@ -11,8 +11,17 @@ banner(const std::string& title, const std::string& paper_ref)
     std::printf("\n=== %s ===\n", title.c_str());
     std::printf("Reproduces: %s\n", paper_ref.c_str());
     std::printf("Shot scale: GLD_SHOTS_SCALE=%.2f (raise for tighter "
-                "statistics)\n\n",
-                BenchConfig::scale());
+                "statistics); backend: GLD_BACKEND=%s; threads: "
+                "GLD_THREADS=%d\n\n",
+                BenchConfig::scale(), backend_name(backend_from_env()),
+                BenchConfig::threads());
+}
+
+void
+apply_env(ExperimentConfig* cfg)
+{
+    cfg->threads = BenchConfig::threads();
+    cfg->backend = backend_from_env();
 }
 
 std::vector<NamedPolicy>

@@ -48,6 +48,15 @@ color(int d)
 /** Prints the standard bench banner with shot scaling info. */
 void banner(const std::string& title, const std::string& paper_ref);
 
+/**
+ * Applies the environment knobs every generator honours to a config:
+ * threads from GLD_THREADS (default: hardware concurrency, so the bench
+ * gates exercise the chunked scheduler at full width) and the backend
+ * from GLD_BACKEND (backend_from_env()).  Shot counts stay per-bench
+ * (BenchConfig::shots).
+ */
+void apply_env(ExperimentConfig* cfg);
+
 /** Named policy entry for sweep tables. */
 struct NamedPolicy {
     std::string name;

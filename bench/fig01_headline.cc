@@ -19,7 +19,7 @@ main()
     cfg.rounds = 200;
     cfg.shots = BenchConfig::shots(60);
     cfg.leakage_sampling = true;
-    cfg.threads = BenchConfig::threads();
+    apply_env(&cfg);
     ExperimentRunner runner(bundle->ctx, cfg);
 
     const Metrics er = runner.run(PolicyZoo::eraser(true));

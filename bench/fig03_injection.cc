@@ -6,6 +6,7 @@
 // it is injected and stay clean when it is not.
 
 #include "bench_common.h"
+#include "sim/frame_sim.h"
 
 using namespace gld;
 using namespace gld::bench;

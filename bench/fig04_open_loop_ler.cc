@@ -29,7 +29,7 @@ main()
         cfg.rounds = 10 * d;
         cfg.shots = BenchConfig::shots(d <= 5 ? 1500 : 600);
         cfg.compute_ler = true;
-        cfg.threads = BenchConfig::threads();
+        apply_env(&cfg);
         ExperimentRunner runner(bundle->ctx, cfg);
         std::vector<std::string> row = {std::to_string(d)};
         for (const auto& pol : policies)

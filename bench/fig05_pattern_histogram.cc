@@ -5,6 +5,7 @@
 #include <map>
 
 #include "bench_common.h"
+#include "sim/frame_sim.h"
 #include "util/prefix_code.h"
 
 using namespace gld;

@@ -45,7 +45,7 @@ main()
     cfg.rounds = 100;
     cfg.shots = BenchConfig::shots(150);
     cfg.leakage_sampling = true;
-    cfg.threads = BenchConfig::threads();
+    apply_env(&cfg);
     ExperimentRunner runner(bundle->ctx, cfg);
     TablePrinter t({"Policy", "LRC/shot", "FP/shot", "FN/shot"});
     std::vector<NamedPolicy> policies = {

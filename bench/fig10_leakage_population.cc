@@ -19,7 +19,7 @@ run_panel(int d, double lr, int rounds, int shots)
     cfg.shots = shots;
     cfg.leakage_sampling = true;
     cfg.record_dlp_series = true;
-    cfg.threads = BenchConfig::threads();
+    apply_env(&cfg);
     ExperimentRunner runner(bundle->ctx, cfg);
 
     std::vector<NamedPolicy> policies = {

@@ -25,7 +25,7 @@ main()
     cfg.shots = BenchConfig::shots(100);
     cfg.leakage_sampling = true;
     cfg.record_dlp_series = true;
-    cfg.threads = BenchConfig::threads();
+    apply_env(&cfg);
     ExperimentRunner runner(bundle->ctx, cfg);
 
     std::vector<NamedPolicy> policies = {

@@ -20,7 +20,7 @@ main()
         cfg.rounds = 50;
         cfg.shots = BenchConfig::shots(p < 5e-4 ? 2000 : 800);
         cfg.compute_ler = true;
-        cfg.threads = BenchConfig::threads();
+        apply_env(&cfg);
         ExperimentRunner runner(bundle->ctx, cfg);
 
         std::printf("-- p = %.0e --\n", p);

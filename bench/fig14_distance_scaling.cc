@@ -35,7 +35,7 @@ main()
         cfg.rounds = 20 * d;
         cfg.shots = BenchConfig::shots(d <= 7 ? 60 : 25);
         cfg.leakage_sampling = true;
-        cfg.threads = BenchConfig::threads();
+        apply_env(&cfg);
         ExperimentRunner runner(bundle->ctx, cfg);
         std::vector<double> leak_tot, lrc_tot;
         for (const auto& pol : policies) {

@@ -8,6 +8,7 @@
 #include "core/pattern_table.h"
 #include "decode/dem_builder.h"
 #include "decode/union_find.h"
+#include "sim/frame_sim.h"
 
 using namespace gld;
 using namespace gld::bench;
@@ -76,6 +77,28 @@ BM_SimulatorRound(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SimulatorRound);
+
+void
+BM_RunnerThreadScaling(benchmark::State& state)
+{
+    // The chunked (stream x shot-block) scheduler's wall-clock vs thread
+    // count at the default 32-stream config: items/s should keep rising
+    // well past 8 threads (the old one-unit-per-stream scheduler's
+    // plateau).  Run with --benchmark_filter=RunnerThreadScaling.
+    const CodeBundle& b = surface7();
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard();
+    cfg.rounds = 10;
+    cfg.shots = 512;
+    cfg.leakage_sampling = true;
+    cfg.threads = static_cast<int>(state.range(0));
+    const ExperimentRunner runner(b.ctx, cfg);
+    const PolicyFactory factory = PolicyZoo::eraser(true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runner.run(factory));
+    state.SetItemsProcessed(state.iterations() * cfg.shots);
+}
+BENCHMARK(BM_RunnerThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void
 BM_UnionFindDecode(benchmark::State& state)

@@ -31,7 +31,7 @@ main()
     cfg70.shots = BenchConfig::shots(250);
     cfg70.leakage_sampling = true;
     cfg70.record_dlp_series = true;
-    cfg70.threads = BenchConfig::threads();
+    apply_env(&cfg70);
     ExperimentRunner short_runner(bundle->ctx, cfg70);
 
     // Long horizon for Leak-700.

@@ -29,7 +29,7 @@ main()
         cfg.shots = BenchConfig::shots(40);
         cfg.leakage_sampling = true;
         cfg.record_dlp_series = true;
-        cfg.threads = BenchConfig::threads();
+        apply_env(&cfg);
         ExperimentRunner runner(bundle->ctx, cfg);
         const Metrics gl = runner.run(PolicyZoo::gladiator(true, cfg.np));
         const Metrics er = runner.run(PolicyZoo::eraser(true));
@@ -49,7 +49,7 @@ main()
         cfg.rounds = 10 * d;
         cfg.shots = BenchConfig::shots(150);
         cfg.leakage_sampling = true;
-        cfg.threads = BenchConfig::threads();
+        apply_env(&cfg);
         ExperimentRunner runner(bundle->ctx, cfg);
         gl2.push_back(TablePrinter::sci(
             runner.run(PolicyZoo::gladiator(true, cfg.np))

@@ -39,7 +39,7 @@ main()
         cfg.rounds = 100;
         cfg.shots = BenchConfig::shots(150);
         cfg.leakage_sampling = true;
-        cfg.threads = BenchConfig::threads();
+        apply_env(&cfg);
         ExperimentRunner runner(entry.bundle->ctx, cfg);
         const Metrics er = runner.run(PolicyZoo::eraser(true));
         const Metrics gl = runner.run(PolicyZoo::gladiator(true, np));

@@ -5,6 +5,7 @@
 
 #include "bench_common.h"
 #include "core/mobility.h"
+#include "sim/frame_sim.h"
 
 using namespace gld;
 using namespace gld::bench;

@@ -10,6 +10,7 @@
 #include "core/pattern_table.h"
 #include "core/policy_gladiator.h"
 #include "runtime/experiment.h"
+#include "sim/frame_sim.h"
 #include "util/config.h"
 
 using namespace gld;
@@ -36,6 +37,7 @@ main()
         cfg.rounds = 70;
         cfg.shots = BenchConfig::shots(200);
         cfg.threads = BenchConfig::threads();
+        cfg.backend = backend_from_env();
         cfg.leakage_sampling = true;
         ExperimentRunner runner(ctx, cfg);
         // Stale: tables built for the old calibration point.

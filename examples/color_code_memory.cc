@@ -59,6 +59,7 @@ main()
     spec.shots = BenchConfig::shots(200);
     spec.rounds = 100;
     spec.leakage_sampling = true;
+    spec.backend = backend_from_env();
     spec.codes = {"color:7"};
     spec.noise = {np};
     for (const auto& entry : lineup)

@@ -30,6 +30,7 @@ main()
     cfg.rounds = 50;
     cfg.shots = BenchConfig::shots(400);
     cfg.threads = BenchConfig::threads();
+    cfg.backend = backend_from_env();
     cfg.compute_ler = true;
     cfg.leakage_sampling = true;
     ExperimentRunner runner(ctx, cfg);

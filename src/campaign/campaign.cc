@@ -1,11 +1,13 @@
 #include "campaign/campaign.h"
 
+#include <atomic>
 #include <cstdio>
 #include <stdexcept>
 
 #include "campaign/registry.h"
 #include "io/serialize.h"
 #include "util/config.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -55,6 +57,7 @@ CampaignSpec::expand() const
                 job.cfg.compute_ler = compute_ler;
                 job.cfg.record_dlp_series = record_dlp_series;
                 job.cfg.rng_streams = rng_streams;
+                job.cfg.backend = backend;
                 jobs.push_back(std::move(job));
                 ++index;
             }
@@ -77,6 +80,7 @@ CampaignSpec::to_json() const
     j.set("compute_ler", Json::boolean(compute_ler));
     j.set("record_dlp_series", Json::boolean(record_dlp_series));
     j.set("pair_policy_seeds", Json::boolean(pair_policy_seeds));
+    j.set("backend", Json::str(backend_name(backend)));
     Json jc = Json::array();
     for (const std::string& c : codes)
         jc.push(Json::str(c));
@@ -96,7 +100,7 @@ CampaignSpec
 CampaignSpec::from_json(const Json& j)
 {
     const int64_t v = j["gld_version"].as_int();
-    if (v != io::kSerializeVersion)
+    if (v < 1 || v > io::kSerializeVersion)
         throw std::runtime_error("CampaignSpec: unsupported gld_version " +
                                  std::to_string(v));
     CampaignSpec spec;
@@ -109,6 +113,9 @@ CampaignSpec::from_json(const Json& j)
     spec.compute_ler = j["compute_ler"].as_bool();
     spec.record_dlp_series = j["record_dlp_series"].as_bool();
     spec.pair_policy_seeds = j["pair_policy_seeds"].as_bool();
+    spec.backend = j.has("backend")
+                       ? backend_from_name(j["backend"].as_str())
+                       : SimBackend::kFrame;  // version-1 specs
     spec.codes.clear();
     const Json& jc = j["codes"];
     for (size_t i = 0; i < jc.size(); ++i)
@@ -228,21 +235,36 @@ shard_result_valid(const std::string& path, const CampaignSpec& spec,
 
 RunShardStats
 run_shard(const CampaignSpec& spec, int shard, int n_shards,
-          const std::string& out_dir, int threads, bool verbose)
+          const std::string& out_dir, int threads, bool verbose,
+          int jobs_parallel)
 {
     ShardPlan::validate(shard, n_shards);
     io::make_dirs(out_dir);
-    RunShardStats stats;
-    for (const JobSpec& job : spec.expand()) {
+    const std::vector<JobSpec> jobs = spec.expand();
+    std::atomic<int> jobs_run{0};
+    std::atomic<int> jobs_resumed{0};
+
+    // Split the auto thread budget across job workers: -j N with
+    // --threads unset must not oversubscribe N x hardware_concurrency.
+    // (expand() guarantees >= 1 job; the outer max(1, ...) keeps the
+    // budget division safe regardless.)
+    const int pool_size = std::max(
+        1, std::min<int>(std::max(1, jobs_parallel),
+                         static_cast<int>(jobs.size())));
+    const int job_threads =
+        threads > 0 ? threads
+                    : std::max(1, BenchConfig::threads() / pool_size);
+
+    const auto run_one_job = [&](const JobSpec& job) {
         const std::string path =
             shard_result_path(out_dir, spec, job.index, shard, n_shards);
         if (shard_result_valid(path, spec, job, shard, n_shards)) {
-            ++stats.jobs_resumed;
+            jobs_resumed.fetch_add(1);
             if (verbose)
                 std::printf("  job %04d [%s / %s]: resume — result "
                             "up-to-date\n",
                             job.index, job.code.c_str(), job.policy.c_str());
-            continue;
+            return;
         }
 
         const std::vector<int> streams =
@@ -254,7 +276,7 @@ run_shard(const CampaignSpec& spec, int shard, int n_shards,
             // expects, but skip the code/graph construction.
             std::unique_ptr<CodeInstance> code = make_code(job.code);
             ExperimentConfig cfg = job.cfg;
-            cfg.threads = threads > 0 ? threads : BenchConfig::threads();
+            cfg.threads = job_threads;
             const ExperimentRunner runner(code->ctx, cfg);
             parts = runner.run_partials(make_policy(job.policy, job.cfg.np),
                                         streams);
@@ -279,12 +301,25 @@ run_shard(const CampaignSpec& spec, int shard, int n_shards,
         }
         j.set("streams", std::move(jstreams));
         io::write_file_atomic(path, j.dump(2) + "\n");
-        ++stats.jobs_run;
+        jobs_run.fetch_add(1);
         if (verbose)
             std::printf("  job %04d [%s / %s]: ran %zu stream(s) -> %s\n",
                         job.index, job.code.c_str(), job.policy.c_str(),
                         streams.size(), path.c_str());
-    }
+    };
+
+    // Job-level worker pool (ROADMAP "campaign-level parallelism"): jobs
+    // are independent — each builds its own code/runner and writes its own
+    // result file — so a grid of many small jobs scales by running several
+    // at once on top of each job's stream/block scheduler.  Results are
+    // files keyed by job index; execution order cannot affect them, and
+    // the first failing job's exception propagates to the caller.
+    parallel_for_dynamic(jobs.size(), pool_size,
+                         [&](size_t i) { run_one_job(jobs[i]); });
+
+    RunShardStats stats;
+    stats.jobs_run = jobs_run.load();
+    stats.jobs_resumed = jobs_resumed.load();
     return stats;
 }
 

@@ -9,6 +9,7 @@
 #include "noise/noise_model.h"
 #include "runtime/experiment.h"
 #include "runtime/metrics.h"
+#include "sim/simulator.h"
 
 namespace gld {
 namespace campaign {
@@ -52,6 +53,12 @@ struct CampaignSpec {
      * per-job seeds (e.g. when jobs are later pooled as extra shots).
      */
     bool pair_policy_seeds = true;
+    /**
+     * Simulation backend every job runs on (config-hashed per job, so
+     * switching backends never resumes the other backend's checkpoints).
+     * Serialized by name; specs without the field load as "frame".
+     */
+    SimBackend backend = SimBackend::kFrame;
     std::vector<std::string> codes;     ///< e.g. {"surface:3", "surface:5"}
     std::vector<std::string> policies;  ///< registry names
     std::vector<NoiseParams> noise;     ///< grid points
@@ -111,11 +118,16 @@ struct RunShardStats {
  * matching config hash and shard geometry is skipped; a stale file (hash
  * or geometry mismatch, or unparseable) is recomputed and overwritten.
  *
- * `threads` caps worker threads per job (0 = hardware concurrency).
+ * `threads` caps worker threads per job (0 = hardware concurrency,
+ * divided by the job-pool width so -j never oversubscribes N x cores).
+ * `jobs_parallel` runs that many jobs concurrently (each with its own
+ * `threads`-wide pool): jobs are independent — separate codes, runners
+ * and result files — so a job-level pool layers cleanly on top of the
+ * per-job scheduler for grids of many small jobs.  1 = the serial loop.
  */
 RunShardStats run_shard(const CampaignSpec& spec, int shard, int n_shards,
                         const std::string& out_dir, int threads = 0,
-                        bool verbose = false);
+                        bool verbose = false, int jobs_parallel = 1);
 
 /**
  * Deletes every shard and merged result file of the campaign in

@@ -5,7 +5,7 @@
 #include <string>
 
 #include "core/code_context.h"
-#include "sim/frame_sim.h"
+#include "sim/simulator.h"
 
 namespace gld {
 
@@ -32,10 +32,10 @@ class Policy {
                          LrcSchedule* out) = 0;
 
     /**
-     * Gives oracle policies read access to the simulator's ground truth.
-     * Default: ignored.
+     * Gives oracle policies read access to the simulator's ground truth
+     * (any backend behind the Simulator interface).  Default: ignored.
      */
-    virtual void set_oracle(const LeakFrameSim* /*sim*/) {}
+    virtual void set_oracle(const Simulator* /*sim*/) {}
 };
 
 /**
@@ -46,13 +46,13 @@ class IdealPolicy : public Policy {
   public:
     explicit IdealPolicy(const CodeContext& ctx) : ctx_(&ctx) {}
     std::string name() const override { return "IDEAL"; }
-    void set_oracle(const LeakFrameSim* sim) override { sim_ = sim; }
+    void set_oracle(const Simulator* sim) override { sim_ = sim; }
     void observe(int round, const RoundResult& rr,
                  LrcSchedule* out) override;
 
   private:
     const CodeContext* ctx_;
-    const LeakFrameSim* sim_ = nullptr;
+    const Simulator* sim_ = nullptr;
 };
 
 /**

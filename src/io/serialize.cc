@@ -12,11 +12,13 @@ namespace {
 void
 check_version(const Json& j, const char* what)
 {
+    // Readers accept every version up to the current one; fields added
+    // since the document was written take their defaults.
     const int64_t v = j["gld_version"].as_int();
-    if (v != kSerializeVersion)
+    if (v < 1 || v > kSerializeVersion)
         throw std::runtime_error(std::string(what) + ": unsupported "
                                  "gld_version " + std::to_string(v) +
-                                 " (this build reads version " +
+                                 " (this build reads versions 1.." +
                                  std::to_string(kSerializeVersion) + ")");
 }
 
@@ -130,6 +132,7 @@ config_to_json(const ExperimentConfig& cfg)
     j.set("compute_ler", Json::boolean(cfg.compute_ler));
     j.set("record_dlp_series", Json::boolean(cfg.record_dlp_series));
     j.set("rng_streams", Json::integer(cfg.rng_streams));
+    j.set("backend", Json::str(backend_name(cfg.backend)));
     // cfg.threads is deliberately NOT serialized: it does not affect
     // results (determinism contract) and must not affect the config hash.
     return j;
@@ -148,6 +151,11 @@ config_from_json(const Json& j)
     cfg.compute_ler = j["compute_ler"].as_bool();
     cfg.record_dlp_series = j["record_dlp_series"].as_bool();
     cfg.rng_streams = static_cast<int>(j["rng_streams"].as_int());
+    // Version-1 documents predate backends: migrate to "frame" (what
+    // they were produced by).  Their config hash differs regardless, so
+    // old CHECKPOINTS are refused rather than resumed.
+    cfg.backend = j.has("backend") ? backend_from_name(j["backend"].as_str())
+                                   : SimBackend::kFrame;
     return cfg;
 }
 

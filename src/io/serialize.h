@@ -26,8 +26,16 @@ namespace io {
  *
  * Bump kSerializeVersion when a field changes meaning; add new fields
  * with defaults so old files keep loading.
+ *
+ * Version history:
+ *  - 1: initial format.
+ *  - 2: ExperimentConfig/CampaignSpec gained "backend" (simulation
+ *    backend name).  Version-1 documents still load (backend defaults to
+ *    "frame"), but the config HASH now covers the backend field, so
+ *    version-1 campaign checkpoints are refused as stale by the
+ *    config-hash check rather than silently resumed.
  */
-constexpr int kSerializeVersion = 1;
+constexpr int kSerializeVersion = 2;
 
 /** IEEE-754 binary64 → "0x<16 hex digits>" (bit_cast, exact). */
 std::string f64_to_hex(double v);

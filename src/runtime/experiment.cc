@@ -5,12 +5,12 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
-#include <thread>
 
 #include "core/policy_eraser.h"
 #include "core/policy_gladiator.h"
 #include "core/policy_static.h"
 #include "decode/dem_builder.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace gld {
@@ -26,28 +26,37 @@ ExperimentRunner::ExperimentRunner(const CodeContext& ctx,
 }
 
 Metrics
-ExperimentRunner::run_shots(const PolicyFactory& factory, uint64_t stream,
-                            int shots, const DecodingGraph* graph) const
+ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
+                            int block, const DecodingGraph* graph) const
 {
     const CssCode& code = ctx_->code();
     const int n_data = code.n_data();
     const int n_checks = code.n_checks();
+    const int total = stream_shots(cfg_, stream);
+    const int first = block * kShotBlock;
+    const int shots = std::min(kShotBlock, total - first);
 
     Metrics m;
     m.rounds_per_shot = cfg_.rounds;
     if (cfg_.record_dlp_series)
         m.dlp_series.assign(cfg_.rounds, 0.0);
 
-    // Disjoint split ids per stream (4s, 4s+1, 4s+2): no two derived
-    // generators across streams may share a stream id, or their
-    // Monte-Carlo draws would be correlated.
-    Rng master(cfg_.seed);
-    Rng shot_rng = master.split(stream * 4 + 1);
-    LeakFrameSim sim(code, ctx_->rc(), cfg_.np,
-                     master.split(stream * 4).next_u64());
+    // Every (stream, block) work unit owns three independent derived
+    // generators — simulator, leakage-sampling shot draws, policy seed —
+    // reached by nested splits off the config seed.  The derivation
+    // depends only on (seed, stream, block), never on the thread that
+    // happens to execute the unit, so any schedule produces the same
+    // draws.  Disjoint leaf ids per block keep generators uncorrelated.
+    const Rng block_master =
+        Rng(cfg_.seed).split(static_cast<uint64_t>(stream))
+            .split(static_cast<uint64_t>(block));
+    Rng shot_rng = block_master.split(1);
+    std::unique_ptr<Simulator> sim =
+        make_simulator(cfg_.backend, code, ctx_->rc(), cfg_.np,
+                       block_master.split(0).next_u64());
     std::unique_ptr<Policy> policy =
-        factory(*ctx_, master.split(stream * 4 + 2).next_u64());
-    policy->set_oracle(&sim);
+        factory(*ctx_, block_master.split(2).next_u64());
+    policy->set_oracle(sim.get());
 
     std::unique_ptr<UnionFindDecoder> decoder;
     std::vector<int> z_checks;
@@ -61,10 +70,13 @@ ExperimentRunner::run_shots(const PolicyFactory& factory, uint64_t stream,
     std::vector<uint8_t> syndrome;
 
     for (int shot = 0; shot < shots; ++shot) {
-        sim.reset_shot();
+        sim->reset_shot();
         policy->begin_shot();
+        // Stamps are per shot: a stale stamp from an earlier shot at the
+        // same round index would mask that shot's false negatives.
+        std::fill(sched_stamp.begin(), sched_stamp.end(), -1);
         if (cfg_.leakage_sampling)
-            sim.inject_data_leak(
+            sim->inject_data_leak(
                 static_cast<int>(shot_rng.uniform_int(n_data)));
 
         if (graph != nullptr)
@@ -75,7 +87,7 @@ ExperimentRunner::run_shots(const PolicyFactory& factory, uint64_t stream,
         for (int r = 0; r < cfg_.rounds; ++r) {
             // Account the LRCs about to be applied against ground truth.
             for (int q : sched.data_qubits) {
-                if (sim.data_leaked(q))
+                if (sim->data_leaked(q))
                     m.tp_total += 1;
                 else
                     m.fp_total += 1;
@@ -83,7 +95,7 @@ ExperimentRunner::run_shots(const PolicyFactory& factory, uint64_t stream,
             m.lrc_data_total += static_cast<double>(sched.data_qubits.size());
             m.lrc_check_total += static_cast<double>(sched.checks.size());
 
-            rr = sim.run_round(sched);
+            rr = sim->run_round(sched);
             policy->observe(r, rr, &sched);
 
             // False negatives: leaked data qubits the policy did not
@@ -91,17 +103,17 @@ ExperimentRunner::run_shots(const PolicyFactory& factory, uint64_t stream,
             for (int q : sched.data_qubits)
                 sched_stamp[q] = r;
             for (int q = 0; q < n_data; ++q) {
-                if (sim.data_leaked(q) && sched_stamp[q] != r)
+                if (sim->data_leaked(q) && sched_stamp[q] != r)
                     m.fn_total += 1;
             }
 
             const double dlp =
-                static_cast<double>(sim.n_data_leaked()) / n_data;
+                static_cast<double>(sim->n_data_leaked()) / n_data;
             m.dlp_total += dlp;
             if (cfg_.record_dlp_series)
                 m.dlp_series[r] += dlp;
             m.check_leak_total +=
-                static_cast<double>(sim.n_check_leaked()) / n_checks;
+                static_cast<double>(sim->n_check_leaked()) / n_checks;
 
             if (graph != nullptr) {
                 for (int zi = 0; zi < nz; ++zi) {
@@ -112,7 +124,7 @@ ExperimentRunner::run_shots(const PolicyFactory& factory, uint64_t stream,
         }
 
         if (graph != nullptr) {
-            const std::vector<uint8_t> flips = sim.final_data_measure();
+            const std::vector<uint8_t> flips = sim->final_data_measure();
             for (int zi = 0; zi < nz; ++zi) {
                 uint8_t det = rr.meas_flip[z_checks[zi]];
                 for (int q : code.check(z_checks[zi]).support)
@@ -149,6 +161,21 @@ ExperimentRunner::stream_shots(const ExperimentConfig& cfg, int stream)
     return cfg.shots / streams + (stream < cfg.shots % streams ? 1 : 0);
 }
 
+int
+ExperimentRunner::stream_blocks(const ExperimentConfig& cfg, int stream)
+{
+    return (stream_shots(cfg, stream) + kShotBlock - 1) / kShotBlock;
+}
+
+long
+ExperimentRunner::n_work_units(const ExperimentConfig& cfg)
+{
+    long units = 0;
+    for (int s = 0; s < n_streams(cfg); ++s)
+        units += stream_blocks(cfg, s);
+    return units;
+}
+
 std::vector<Metrics>
 ExperimentRunner::run_partials(const PolicyFactory& factory,
                                const std::vector<int>& streams) const
@@ -161,29 +188,45 @@ ExperimentRunner::run_partials(const PolicyFactory& factory,
                 " outside [0, " + std::to_string(total_streams) + ")");
     }
 
-    std::vector<Metrics> parts(streams.size());
-    const auto run_one = [&](size_t i) {
-        parts[i] = run_shots(factory, static_cast<uint64_t>(streams[i]),
-                             stream_shots(cfg_, streams[i]), graph_.get());
+    // Chunked work queue: the schedulable unit is a (stream, shot block),
+    // not a whole stream, so the worker count is no longer capped by
+    // rng_streams.  The unit list and each unit's RNG derivation depend
+    // only on the config; threads pull units off an atomic cursor, park
+    // their Metrics in the unit's slot, and the per-stream partial is
+    // folded from its blocks in ascending block order afterwards — a
+    // fixed left-fold, so the result is schedule-independent and the
+    // per-stream partials (the sharding contract) are unchanged by how
+    // many threads ran.
+    struct WorkUnit {
+        size_t request;  ///< index into `streams`
+        int stream;
+        int block;
     };
+    std::vector<WorkUnit> units;
+    for (size_t i = 0; i < streams.size(); ++i) {
+        const int blocks = stream_blocks(cfg_, streams[i]);
+        for (int b = 0; b < blocks; ++b)
+            units.push_back({i, streams[i], b});
+    }
 
-    const int threads = static_cast<int>(std::min(
-        static_cast<size_t>(std::max(1, cfg_.threads)), streams.size()));
-    if (threads <= 1) {
-        for (size_t i = 0; i < streams.size(); ++i)
-            run_one(i);
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (int t = 0; t < threads; ++t) {
-            pool.emplace_back([&run_one, t, threads, &streams]() {
-                for (size_t i = static_cast<size_t>(t); i < streams.size();
-                     i += threads)
-                    run_one(i);
-            });
+    std::vector<Metrics> unit_parts(units.size());
+    parallel_for_dynamic(units.size(), cfg_.threads, [&](size_t u) {
+        unit_parts[u] = run_block(factory, units[u].stream, units[u].block,
+                                  graph_.get());
+    });
+
+    // Fold each stream's block partials in block order (units were built
+    // grouped per requested stream, blocks ascending).
+    std::vector<Metrics> parts(streams.size());
+    std::vector<uint8_t> seeded(streams.size(), 0);
+    for (size_t u = 0; u < units.size(); ++u) {
+        const size_t i = units[u].request;
+        if (!seeded[i]) {
+            parts[i] = std::move(unit_parts[u]);
+            seeded[i] = 1;
+        } else {
+            parts[i].merge(unit_parts[u]);
         }
-        for (auto& th : pool)
-            th.join();
     }
     return parts;
 }

@@ -10,6 +10,7 @@
 #include "decode/union_find.h"
 #include "noise/noise_model.h"
 #include "runtime/metrics.h"
+#include "sim/simulator.h"
 
 namespace gld {
 
@@ -32,14 +33,21 @@ struct ExperimentConfig {
     int threads = 1;
     /**
      * Number of independent RNG streams the shots are partitioned into.
-     * Results depend on this value but NOT on `threads`: the same seed
-     * and stream count give bit-identical Metrics for any thread count.
+     * Results depend on this value but NOT on `threads`: the same
+     * (seed, rng_streams, backend) gives bit-identical Metrics for any
+     * thread count.
      */
-    int rng_streams = 8;
+    int rng_streams = 32;
+    /**
+     * Simulation backend executing the round circuit (frame = fast
+     * Pauli-frame engine, tableau = exact CHP stabilizer engine).
+     * Result-affecting: serialized and part of the config hash.
+     */
+    SimBackend backend = SimBackend::kFrame;
 };
 
-/** Builds a fresh policy; called once per RNG stream (rng_streams times
- *  per run, regardless of the thread count). */
+/** Builds a fresh policy; called once per (RNG stream, shot block) work
+ *  unit — never per thread, so the build count is schedule-independent. */
 using PolicyFactory = std::function<std::unique_ptr<Policy>(
     const CodeContext& ctx, uint64_t seed)>;
 
@@ -79,12 +87,32 @@ class ExperimentRunner {
     /** Shots assigned to `stream` under run()'s fixed partition. */
     static int stream_shots(const ExperimentConfig& cfg, int stream);
 
+    /**
+     * Shots per scheduler work unit: each stream's shots are chunked into
+     * blocks of this size, and (stream, block) units are what the worker
+     * threads pull.  Part of the determinism contract — every block draws
+     * from its own RNG streams derived from (seed, stream, block), so the
+     * result is independent of which thread runs which unit, but changing
+     * the block size (like changing rng_streams) changes the draws.
+     */
+    static constexpr int kShotBlock = 32;
+
+    /** Number of shot blocks of `stream` (ceil(stream_shots/kShotBlock)). */
+    static int stream_blocks(const ExperimentConfig& cfg, int stream);
+
+    /**
+     * Total scheduler work units of a full run(): the parallelism cap.
+     * At the default config this comfortably exceeds the old
+     * one-unit-per-stream scheduler's 8.
+     */
+    static long n_work_units(const ExperimentConfig& cfg);
+
     const CodeContext& ctx() const { return *ctx_; }
     const ExperimentConfig& config() const { return cfg_; }
 
   private:
-    Metrics run_shots(const PolicyFactory& factory, uint64_t stream,
-                      int shots, const DecodingGraph* graph) const;
+    Metrics run_block(const PolicyFactory& factory, int stream, int block,
+                      const DecodingGraph* graph) const;
 
     const CodeContext* ctx_;
     ExperimentConfig cfg_;

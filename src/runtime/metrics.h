@@ -40,14 +40,21 @@ struct Metrics {
     // --- Normalized views. ---
     double denom() const
     {
-        return static_cast<double>(shots) * rounds_per_shot;
+        return static_cast<double>(shots) * static_cast<double>(rounds_per_shot);
     }
     /** Average counts per shot (the unit of the paper's Fig 9 bars). */
-    double fn_per_shot() const { return fn_total / shots; }
-    double fp_per_shot() const { return fp_total / shots; }
+    double fn_per_shot() const
+    {
+        return fn_total / static_cast<double>(shots);
+    }
+    double fp_per_shot() const
+    {
+        return fp_total / static_cast<double>(shots);
+    }
     double lrc_per_shot() const
     {
-        return (lrc_data_total + lrc_check_total) / shots;
+        return (lrc_data_total + lrc_check_total) /
+               static_cast<double>(shots);
     }
     /** Rates per data-qubit-round style normalizations. */
     double fn_per_round() const { return fn_total / denom(); }
@@ -71,7 +78,8 @@ struct Metrics {
     double ler() const
     {
         return decoded_shots > 0
-                   ? static_cast<double>(logical_errors) / decoded_shots
+                   ? static_cast<double>(logical_errors) /
+                         static_cast<double>(decoded_shots)
                    : 0.0;
     }
 };

@@ -2,36 +2,16 @@
 #define GLD_SIM_FRAME_SIM_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "circuit/round_circuit.h"
 #include "codes/css_code.h"
 #include "noise/noise_model.h"
+#include "sim/simulator.h"
 #include "util/rng.h"
 
 namespace gld {
-
-/** Outcome of one QEC round, as seen by the controller. */
-struct RoundResult {
-    /** Measurement flip (vs the noiseless reference) per check. */
-    std::vector<uint8_t> meas_flip;
-    /** Detector bits: meas_flip XOR previous round's meas_flip. */
-    std::vector<uint8_t> detector;
-    /** Noisy multi-level-readout leak flags per check ancilla. */
-    std::vector<uint8_t> mlr_flag;
-};
-
-/** LRCs requested by a policy, applied at the start of the next round. */
-struct LrcSchedule {
-    std::vector<int> data_qubits;
-    std::vector<int> checks;  ///< ancillas, identified by check index
-    void clear()
-    {
-        data_qubits.clear();
-        checks.clear();
-    }
-    bool empty() const { return data_qubits.empty() && checks.empty(); }
-};
 
 /**
  * Leakage-aware Pauli-frame simulator for repeated syndrome extraction.
@@ -54,48 +34,53 @@ struct LrcSchedule {
  *    LRC against a leaked ancilla pumps leakage INTO the data qubit), then
  *    applies gadget noise.  An ancilla LRC resets the ancilla's leakage.
  */
-class LeakFrameSim {
+class LeakFrameSim : public Simulator {
   public:
     LeakFrameSim(const CssCode& code, const RoundCircuit& rc,
                  const NoiseParams& np, uint64_t seed);
 
+    std::string name() const override { return "frame"; }
+
     /** Clears all state for a new shot. */
-    void reset_shot();
+    void reset_shot() override;
 
     /** Forces a data qubit into the leaked state (leakage sampling, §6). */
-    void inject_data_leak(int q) { leaked_[q] = 1; }
+    void inject_data_leak(int q) override { leaked_[q] = 1; }
     /** Forces an ancilla (by check index) into the leaked state. */
-    void inject_check_leak(int c) { leaked_[code_->ancilla_of(c)] = 1; }
+    void inject_check_leak(int c) override
+    {
+        leaked_[code_->ancilla_of(c)] = 1;
+    }
     /** Injects an X (bit-flip) error on a qubit (tests / fault studies). */
-    void inject_x(int q) { fx_[q] ^= 1; }
+    void inject_x(int q) override { fx_[q] ^= 1; }
     /** Injects a Z (phase-flip) error on a qubit. */
-    void inject_z(int q) { fz_[q] ^= 1; }
+    void inject_z(int q) override { fz_[q] ^= 1; }
     /** Clears a qubit's leak flag (tests). */
-    void clear_leak(int q) { leaked_[q] = 0; }
+    void clear_leak(int q) override { leaked_[q] = 0; }
 
-    bool data_leaked(int q) const { return leaked_[q] != 0; }
-    bool check_leaked(int c) const
+    bool data_leaked(int q) const override { return leaked_[q] != 0; }
+    bool check_leaked(int c) const override
     {
         return leaked_[code_->ancilla_of(c)] != 0;
     }
     /** Number of currently-leaked data qubits. */
-    int n_data_leaked() const;
+    int n_data_leaked() const override;
     /** Number of currently-leaked ancilla qubits. */
-    int n_check_leaked() const;
+    int n_check_leaked() const override;
 
     /**
      * Applies the scheduled LRC gadgets (start-of-round semantics), then
      * executes one noisy syndrome-extraction round.
      * @param lrcs gadgets decided by the policy after the previous round.
      */
-    RoundResult run_round(const LrcSchedule& lrcs);
+    RoundResult run_round(const LrcSchedule& lrcs) override;
 
     /**
      * Transversal Z-basis readout of all data qubits at the end of the
      * memory experiment.  Returns the per-qubit outcome flip (leaked qubits
      * read out randomly).
      */
-    std::vector<uint8_t> final_data_measure();
+    std::vector<uint8_t> final_data_measure() override;
 
     Rng& rng() { return rng_; }
     const NoiseParams& noise() const { return np_; }

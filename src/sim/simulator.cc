@@ -1,0 +1,56 @@
+#include "sim/simulator.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "sim/frame_sim.h"
+#include "sim/tableau_leak_sim.h"
+
+namespace gld {
+
+const char*
+backend_name(SimBackend backend)
+{
+    switch (backend) {
+      case SimBackend::kFrame:
+        return "frame";
+      case SimBackend::kTableau:
+        return "tableau";
+    }
+    throw std::runtime_error("backend_name: invalid SimBackend value");
+}
+
+SimBackend
+backend_from_name(const std::string& name)
+{
+    if (name == "frame")
+        return SimBackend::kFrame;
+    if (name == "tableau")
+        return SimBackend::kTableau;
+    throw std::runtime_error("unknown simulation backend \"" + name +
+                             "\" (want frame or tableau)");
+}
+
+SimBackend
+backend_from_env()
+{
+    const char* s = std::getenv("GLD_BACKEND");
+    if (s == nullptr || s[0] == '\0')
+        return SimBackend::kFrame;
+    return backend_from_name(s);
+}
+
+std::unique_ptr<Simulator>
+make_simulator(SimBackend backend, const CssCode& code,
+               const RoundCircuit& rc, const NoiseParams& np, uint64_t seed)
+{
+    switch (backend) {
+      case SimBackend::kFrame:
+        return std::make_unique<LeakFrameSim>(code, rc, np, seed);
+      case SimBackend::kTableau:
+        return std::make_unique<TableauLeakSim>(code, rc, np, seed);
+    }
+    throw std::runtime_error("make_simulator: invalid SimBackend value");
+}
+
+}  // namespace gld

@@ -1,0 +1,131 @@
+#ifndef GLD_SIM_SIMULATOR_H_
+#define GLD_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/round_circuit.h"
+#include "codes/css_code.h"
+#include "noise/noise_model.h"
+
+namespace gld {
+
+/** Outcome of one QEC round, as seen by the controller. */
+struct RoundResult {
+    /** Measurement flip (vs the noiseless reference) per check. */
+    std::vector<uint8_t> meas_flip;
+    /** Detector bits: meas_flip XOR previous round's meas_flip. */
+    std::vector<uint8_t> detector;
+    /** Noisy multi-level-readout leak flags per check ancilla. */
+    std::vector<uint8_t> mlr_flag;
+};
+
+/** LRCs requested by a policy, applied at the start of the next round. */
+struct LrcSchedule {
+    std::vector<int> data_qubits;
+    std::vector<int> checks;  ///< ancillas, identified by check index
+    void clear()
+    {
+        data_qubits.clear();
+        checks.clear();
+    }
+    bool empty() const { return data_qubits.empty() && checks.empty(); }
+};
+
+/**
+ * Abstract simulation backend for the closed-loop memory experiment.
+ *
+ * A backend executes the scheduled syndrome-extraction circuit of one code
+ * round by round, tracks leakage as classical per-qubit state with the
+ * paper's gate-malfunction semantics, and exposes the ground-truth leak
+ * oracle the runner (speculation accounting) and the IDEAL policy read.
+ *
+ * Contract shared by every backend:
+ *  - run_round() applies the scheduled LRCs first (start-of-round
+ *    semantics), then one noisy extraction round; detector bits are
+ *    meas-XOR-previous with round-0 X-check detectors forced to 0.
+ *  - All randomness comes from the constructor seed: the same seed gives
+ *    a bit-identical shot sequence (per backend — different backends draw
+ *    differently and agree only statistically / on noiseless semantics).
+ *  - Fault injection (inject_*) is exact and deterministic, so noiseless
+ *    detector signatures are comparable ACROSS backends.
+ */
+class Simulator {
+  public:
+    virtual ~Simulator() = default;
+
+    /** Human-readable backend name ("frame", "tableau"). */
+    virtual std::string name() const = 0;
+
+    /** Clears all per-shot state for a new shot. */
+    virtual void reset_shot() = 0;
+
+    /** Forces a data qubit into the leaked state (leakage sampling, §6). */
+    virtual void inject_data_leak(int q) = 0;
+    /** Forces an ancilla (by check index) into the leaked state. */
+    virtual void inject_check_leak(int c) = 0;
+    /** Injects an X (bit-flip) error on a qubit (tests / fault studies). */
+    virtual void inject_x(int q) = 0;
+    /** Injects a Z (phase-flip) error on a qubit. */
+    virtual void inject_z(int q) = 0;
+    /** Clears a qubit's leak flag (tests). */
+    virtual void clear_leak(int q) = 0;
+
+    // --- Ground-truth leak oracle. ---
+    virtual bool data_leaked(int q) const = 0;
+    virtual bool check_leaked(int c) const = 0;
+    /** Number of currently-leaked data qubits. */
+    virtual int n_data_leaked() const = 0;
+    /** Number of currently-leaked ancilla qubits. */
+    virtual int n_check_leaked() const = 0;
+
+    /**
+     * Applies the scheduled LRC gadgets, then executes one noisy
+     * syndrome-extraction round.
+     */
+    virtual RoundResult run_round(const LrcSchedule& lrcs) = 0;
+
+    /**
+     * Transversal Z-basis readout of all data qubits at the end of the
+     * memory experiment.  Returns the per-qubit outcome flip (leaked
+     * qubits read out randomly).
+     */
+    virtual std::vector<uint8_t> final_data_measure() = 0;
+};
+
+/**
+ * The available backends.  kFrame is the paper's Pauli-frame engine (fast,
+ * samples Pauli noise exactly); kTableau drives the exact CHP stabilizer
+ * tableau through the same round circuit with the same classical leakage
+ * semantics (slower by O(n^2) per measurement; exact-stabilizer states).
+ */
+enum class SimBackend : uint8_t {
+    kFrame = 0,
+    kTableau = 1,
+};
+
+/** Canonical backend name ("frame" / "tableau"). */
+const char* backend_name(SimBackend backend);
+
+/** Inverse of backend_name; throws std::runtime_error on unknown names. */
+SimBackend backend_from_name(const std::string& name);
+
+/**
+ * The backend selected by the GLD_BACKEND environment variable — the one
+ * resolution point benches and examples share.  Unset/empty means kFrame;
+ * an unknown name throws (same contract as backend_from_name).
+ */
+SimBackend backend_from_env();
+
+/** Builds a backend over a code's scheduled round circuit. */
+std::unique_ptr<Simulator> make_simulator(SimBackend backend,
+                                          const CssCode& code,
+                                          const RoundCircuit& rc,
+                                          const NoiseParams& np,
+                                          uint64_t seed);
+
+}  // namespace gld
+
+#endif  // GLD_SIM_SIMULATOR_H_

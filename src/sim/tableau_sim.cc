@@ -1,6 +1,7 @@
 #include <cstddef>
 #include "sim/tableau_sim.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace gld {
@@ -12,6 +13,18 @@ TableauSim::TableauSim(int n_qubits, uint64_t seed)
       r_(2 * n_qubits, 0), rng_(seed)
 {
     // Identity tableau: destabilizer i = X_i, stabilizer n+i = Z_i.
+    for (int i = 0; i < n_; ++i) {
+        set_xbit(i, i, true);
+        set_zbit(n_ + i, i, true);
+    }
+}
+
+void
+TableauSim::reset_all()
+{
+    std::fill(xs_.begin(), xs_.end(), 0);
+    std::fill(zs_.begin(), zs_.end(), 0);
+    std::fill(r_.begin(), r_.end(), 0);
     for (int i = 0; i < n_; ++i) {
         set_xbit(i, i, true);
         set_zbit(n_ + i, i, true);

@@ -25,6 +25,13 @@ class TableauSim {
 
     int n() const { return n_; }
 
+    /**
+     * Re-initializes the tableau to the identity (|0...0>) without
+     * reseeding the internal RNG: the random-outcome stream continues,
+     * so a sequence of shots is deterministic from the original seed.
+     */
+    void reset_all();
+
     void h(int q);
     void s(int q);
     void cnot(int control, int target);

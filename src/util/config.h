@@ -10,6 +10,9 @@ namespace gld {
  *
  * GLD_SHOTS_SCALE — multiplies every bench's default shot count (default 1).
  * GLD_THREADS    — caps worker threads (default: hardware concurrency).
+ * (GLD_BACKEND, the simulation backend knob, is resolved by
+ * backend_from_env() in src/sim/simulator.h — the env var names a
+ * backend, so it belongs to the sim layer.)
  */
 struct BenchConfig {
     /** Scales a default shot count by GLD_SHOTS_SCALE (min 1 shot). */

@@ -1,0 +1,27 @@
+#ifndef GLD_UTIL_PARALLEL_H_
+#define GLD_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace gld {
+
+/**
+ * Runs fn(0), ..., fn(n-1) across up to `threads` workers pulling indices
+ * off a shared atomic cursor (dynamic scheduling — the shape both the
+ * experiment scheduler's work-unit queue and the campaign job pool need).
+ *
+ * threads <= 1 (or n <= 1) runs inline on the calling thread.  The first
+ * exception any fn throws is captured and rethrown on the calling thread
+ * after all workers join (remaining indices are abandoned); an exception
+ * can therefore never escape a std::thread and terminate the process.
+ *
+ * Callers are responsible for fn being safe to run concurrently and for
+ * any ordering of results (write to index-owned slots, fold afterwards).
+ */
+void parallel_for_dynamic(size_t n, int threads,
+                          const std::function<void(size_t)>& fn);
+
+}  // namespace gld
+
+#endif  // GLD_UTIL_PARALLEL_H_

@@ -117,6 +117,90 @@ TEST(Determinism, ShardedPartialsMergeBitIdenticalToRun)
     }
 }
 
+// The chunked scheduler ships (stream, shot-block) work units to however
+// many threads are available; at the raised default of 32 RNG streams the
+// result must stay bit-exact well past the old 8-worker plateau.
+TEST(Determinism, StreamCount32BitIdenticalAtThreads1_8_16)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(1e-3, 0.1);
+    cfg.rounds = 5;
+    cfg.shots = 100;
+    cfg.seed = 0x32D00D5EEDull;
+    cfg.leakage_sampling = true;
+    cfg.record_dlp_series = true;
+    cfg.compute_ler = true;
+    cfg.rng_streams = 32;
+    ASSERT_EQ(ExperimentRunner::n_streams(cfg), 32);
+    // More independently schedulable units than the old one-per-stream
+    // scheduler could ever give 8 workers.
+    ASSERT_GT(ExperimentRunner::n_work_units(cfg), 8);
+
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+    const Metrics base = run_with_threads(ctx, cfg, 1, factory);
+    EXPECT_EQ(base.shots, cfg.shots);
+    for (int threads : {8, 16}) {
+        SCOPED_TRACE(threads);
+        expect_metrics_identical(base,
+                                 run_with_threads(ctx, cfg, threads, factory));
+    }
+}
+
+// Streams wider than one shot block: the per-stream partial is a fold of
+// several block partials, and that fold must be schedule-independent too
+// (and identical whether reached via run() or run_partials()).
+TEST(Determinism, MultiBlockStreamsBitIdenticalAcrossThreads)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(1e-3, 0.1);
+    cfg.rounds = 4;
+    cfg.shots = 80;  // 2 streams x 40 shots = blocks of 32 + 8 each
+    cfg.seed = 0xB10C5EEDull;
+    cfg.leakage_sampling = true;
+    cfg.record_dlp_series = true;
+    cfg.rng_streams = 2;
+    ASSERT_EQ(ExperimentRunner::stream_blocks(cfg, 0), 2);
+
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+    const Metrics base = run_with_threads(ctx, cfg, 1, factory);
+    for (int threads : {2, 4}) {
+        SCOPED_TRACE(threads);
+        expect_metrics_identical(base,
+                                 run_with_threads(ctx, cfg, threads, factory));
+    }
+    // Per-stream partials (the sharding unit) are block folds as well.
+    cfg.threads = 4;
+    const ExperimentRunner runner(ctx, cfg);
+    const std::vector<Metrics> parts = runner.run_partials(factory, {0, 1});
+    Metrics merged = parts[0];
+    merged.merge(parts[1]);
+    expect_metrics_identical(base, merged);
+}
+
+// The default config must expose more concurrently useful work units
+// than the pre-refactor scheduler's hard 8 (ROADMAP "thread scaling").
+TEST(Determinism, DefaultConfigSchedulesMoreThan8WorkUnits)
+{
+    const ExperimentConfig cfg;
+    EXPECT_EQ(cfg.rng_streams, 32);
+    EXPECT_GE(ExperimentRunner::n_streams(cfg), 16);
+    EXPECT_GT(ExperimentRunner::n_work_units(cfg), 8);
+
+    // Big runs keep scaling: units grow with shots, not just streams.
+    ExperimentConfig big = cfg;
+    big.shots = 10000;
+    EXPECT_GT(ExperimentRunner::n_work_units(big),
+              static_cast<long>(big.rng_streams));
+}
+
 // The speculation policies draw from their own seeded RNG streams; make
 // sure a stateful table-driven policy is covered too, not just ERASER.
 TEST(Determinism, GladiatorSurfaceBitIdenticalAcrossThreads)

@@ -159,6 +159,54 @@ TEST(ExperimentRunner, GladiatorFlagsFewerFalsePositivesThanEraser)
     EXPECT_LT(gl.lrc_data_total, er.lrc_data_total);
 }
 
+// FN stamps must not leak between the shots of one block: a policy that
+// scheduled a qubit at round r in an EARLIER shot must not mask a later
+// shot's unserviced leak at the same round index.
+class StampOnceInFirstShotPolicy : public Policy {
+  public:
+    explicit StampOnceInFirstShotPolicy(const CodeContext& ctx) : ctx_(&ctx)
+    {
+    }
+    std::string name() const override { return "stamp-once"; }
+    void begin_shot() override { ++shot_; }
+    void observe(int round, const RoundResult&, LrcSchedule* out) override
+    {
+        out->clear();
+        if (shot_ == 0 && round == 1) {
+            for (int q = 0; q < ctx_->code().n_data(); ++q)
+                out->data_qubits.push_back(q);
+        }
+    }
+
+  private:
+    const CodeContext* ctx_;
+    int shot_ = -1;
+};
+
+TEST(ExperimentRunner, FalseNegativeStampsDoNotLeakAcrossShots)
+{
+    Harness h(3);
+    ExperimentConfig cfg;
+    cfg.np.p = 0;
+    cfg.np.leak_ratio = 0;
+    cfg.np.mobility = 0;       // the sampled leak stays where injected
+    cfg.np.lrc_leak_prob = 0;  // the shot-0 LRC wave is noiseless
+    cfg.rounds = 3;
+    cfg.shots = 4;
+    cfg.rng_streams = 1;  // all shots in one block: stamps could alias
+    cfg.leakage_sampling = true;
+    ExperimentRunner runner(h.ctx, cfg);
+    const Metrics m = runner.run(
+        [](const CodeContext& ctx, uint64_t) -> std::unique_ptr<Policy> {
+            return std::make_unique<StampOnceInFirstShotPolicy>(ctx);
+        });
+    // Shot 0: the sampled leak is missed at round 0, serviced by the
+    // round-1 all-qubit wave (applied/cleared at round 2) => 1 FN.
+    // Shots 1..3: never serviced => one FN per round, INCLUDING round 1
+    // — with stale stamps those three FNs vanish (7 instead of 10).
+    EXPECT_DOUBLE_EQ(m.fn_total, 1.0 + 3.0 * cfg.rounds);
+}
+
 TEST(ExperimentRunner, ThreadedRunMergesAllShots)
 {
     Harness h(3);

@@ -129,6 +129,7 @@ sample_config()
     cfg.compute_ler = true;
     cfg.record_dlp_series = true;
     cfg.rng_streams = 5;
+    cfg.backend = SimBackend::kFrame;
     return cfg;
 }
 
@@ -152,6 +153,34 @@ TEST(Serialize, ConfigRoundTrip)
     EXPECT_EQ(back.compute_ler, cfg.compute_ler);
     EXPECT_EQ(back.record_dlp_series, cfg.record_dlp_series);
     EXPECT_EQ(back.rng_streams, cfg.rng_streams);
+    EXPECT_EQ(back.backend, cfg.backend);
+
+    // Non-default backend round-trips too.
+    ExperimentConfig tab = cfg;
+    tab.backend = SimBackend::kTableau;
+    EXPECT_EQ(config_from_json(Json::parse(config_to_json(tab).dump()))
+                  .backend,
+              SimBackend::kTableau);
+}
+
+TEST(Serialize, Version1ConfigMigratesToFrameBackend)
+{
+    // A version-1 document (no "backend" field) must still load — as the
+    // frame backend it was produced by — while its HASH context (v2 + the
+    // backend field) intentionally differs, so version-1 checkpoints are
+    // refused by the hash check instead of silently resumed.
+    Json j = config_to_json(sample_config());
+    j.set("gld_version", Json::integer(1));
+    ASSERT_TRUE(j.has("backend"));
+    Json v1 = Json::object();  // rebuild without the backend key
+    v1.set("gld_version", Json::integer(1));
+    for (const char* key :
+         {"noise", "rounds", "shots", "seed", "leakage_sampling",
+          "compute_ler", "record_dlp_series", "rng_streams"})
+        v1.set(key, j[key]);
+    const ExperimentConfig back = config_from_json(v1);
+    EXPECT_EQ(back.backend, SimBackend::kFrame);
+    EXPECT_EQ(back.shots, sample_config().shots);
 }
 
 TEST(Serialize, ConfigHashStability)
@@ -159,8 +188,9 @@ TEST(Serialize, ConfigHashStability)
     const ExperimentConfig cfg = sample_config();
     // Stable across processes and time: a golden value, not just
     // self-consistency.  If this changes, bump kSerializeVersion — every
-    // existing checkpoint file becomes stale.
-    EXPECT_EQ(config_hash(cfg), 0x6114e4b8d9a0c8e7ull);
+    // existing checkpoint file becomes stale.  (v2: the serialized form
+    // gained the backend field, which retired the v1 golden.)
+    EXPECT_EQ(config_hash(cfg), 0x06ee99d1406e3739ull);
 
     // Round-tripping must not change the hash (resume depends on it).
     const ExperimentConfig back =
@@ -181,6 +211,12 @@ TEST(Serialize, ConfigHashStability)
     ExperimentConfig c3 = cfg;
     c3.np.p = 2.0000000001e-3;
     EXPECT_NE(config_hash(c3), config_hash(cfg));
+    // The backend changes the results, so it must change the hash
+    // (switching backends never resumes the other backend's checkpoints).
+    ExperimentConfig c4 = cfg;
+    c4.backend = SimBackend::kTableau;
+    EXPECT_EQ(config_hash(c4), 0x7106750d2ca6a052ull);
+    EXPECT_NE(config_hash(c4), config_hash(cfg));
 }
 
 TEST(Serialize, MetricsRoundTripIsBitExact)

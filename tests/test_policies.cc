@@ -6,6 +6,7 @@
 #include "core/policy_gladiator.h"
 #include "core/policy_static.h"
 #include "runtime/experiment.h"
+#include "sim/frame_sim.h"
 
 namespace gld {
 namespace {

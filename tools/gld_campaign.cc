@@ -55,6 +55,10 @@ usage(const char* argv0)
         "  --shards <N>         total shards (plan/merge)\n"
         "  --out <dir>          result directory (default: ./campaign_out)\n"
         "  --threads <T>        worker threads per job (default: auto)\n"
+        "  -j <N>               jobs run concurrently (run/demo; default 1)\n"
+        "  --backend <name>     simulation backend: frame | tableau\n"
+        "                       (overrides the spec; changes every job's\n"
+        "                       config hash, so results never mix)\n"
         "  -v                   verbose per-job progress\n",
         argv0);
     return 2;
@@ -64,9 +68,11 @@ struct Args {
     std::string command;
     std::string spec_path;
     std::string out_dir = "campaign_out";
+    std::string backend;  ///< empty = use the spec's backend
     int shard = -1;
     int n_shards = 1;
     int threads = 0;
+    int jobs_parallel = 1;
     bool verbose = false;
 };
 
@@ -89,6 +95,13 @@ parse_args(int argc, char** argv)
             a.out_dir = need_value("--out");
         } else if (arg == "--threads") {
             a.threads = std::stoi(need_value("--threads"));
+        } else if (arg == "-j" || arg == "--jobs") {
+            a.jobs_parallel = std::stoi(need_value("-j"));
+            if (a.jobs_parallel < 1)
+                throw std::runtime_error("-j wants a positive job count");
+        } else if (arg == "--backend") {
+            a.backend = need_value("--backend");
+            backend_from_name(a.backend);  // validate early
         } else if (arg == "--shards") {
             a.n_shards = std::stoi(need_value("--shards"));
         } else if (arg == "--shard") {
@@ -113,8 +126,13 @@ load_spec(const Args& a)
     if (a.spec_path.empty())
         throw std::runtime_error("--spec <file> is required for '" +
                                  a.command + "'");
-    return CampaignSpec::from_json(
+    CampaignSpec spec = CampaignSpec::from_json(
         io::Json::parse(io::read_file(a.spec_path)));
+    // A --backend override rewrites every job's config (and hash), so
+    // run/merge/report agree as long as they get the same flag.
+    if (!a.backend.empty())
+        spec.backend = backend_from_name(a.backend);
+    return spec;
 }
 
 CampaignSpec
@@ -185,10 +203,17 @@ cmd_run(const Args& a)
         throw std::runtime_error("run needs --shard <i>/<N>");
     const CampaignSpec spec = load_spec(a);
     spec.validate();
-    std::printf("campaign \"%s\": running shard %d/%d into %s\n",
-                spec.name.c_str(), a.shard, a.n_shards, a.out_dir.c_str());
-    const campaign::RunShardStats stats = campaign::run_shard(
-        spec, a.shard, a.n_shards, a.out_dir, a.threads, a.verbose);
+    const std::string pool_note =
+        a.jobs_parallel > 1 ? " (" + std::to_string(a.jobs_parallel) +
+                                  " jobs in parallel)"
+                            : "";
+    std::printf("campaign \"%s\" [%s backend]: running shard %d/%d into "
+                "%s%s\n",
+                spec.name.c_str(), backend_name(spec.backend), a.shard,
+                a.n_shards, a.out_dir.c_str(), pool_note.c_str());
+    const campaign::RunShardStats stats =
+        campaign::run_shard(spec, a.shard, a.n_shards, a.out_dir, a.threads,
+                            a.verbose, a.jobs_parallel);
     std::printf("shard %d/%d done: %d job(s) run, %d resumed from "
                 "checkpoint\n",
                 a.shard, a.n_shards, stats.jobs_run, stats.jobs_resumed);
@@ -236,6 +261,8 @@ cmd_demo(const Args& a)
     spec.codes = {"surface:3"};
     spec.policies = {"eraser_m", "gladiator_m"};
     spec.noise = {NoiseParams::standard(1e-3, 0.1)};
+    if (!a.backend.empty())
+        spec.backend = backend_from_name(a.backend);
 
     const int n_shards = 3;
     io::make_dirs(a.out_dir);
@@ -249,8 +276,9 @@ cmd_demo(const Args& a)
     std::printf("demo campaign: %s\n", spec_path.c_str());
 
     for (int shard = 0; shard < n_shards; ++shard) {
-        const campaign::RunShardStats stats = campaign::run_shard(
-            spec, shard, n_shards, a.out_dir, a.threads, a.verbose);
+        const campaign::RunShardStats stats =
+            campaign::run_shard(spec, shard, n_shards, a.out_dir, a.threads,
+                                a.verbose, a.jobs_parallel);
         std::printf("  shard %d/%d: %d run, %d resumed\n", shard, n_shards,
                     stats.jobs_run, stats.jobs_resumed);
     }

@@ -140,6 +140,16 @@ CampaignSpec::validate() const
     (void)jobs;
 }
 
+// --- Cost model. ---
+
+double
+job_cost_units(const JobSpec& job, int n_qubits, long shots)
+{
+    return static_cast<double>(shots) *
+           static_cast<double>(job.cfg.rounds) *
+           backend_cost_factor(job.cfg.backend, n_qubits);
+}
+
 // --- ShardPlan. ---
 
 void

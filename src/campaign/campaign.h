@@ -81,6 +81,22 @@ struct CampaignSpec {
 };
 
 /**
+ * Relative simulation cost of running `shots` shots of `job` on its code:
+ * shots x rounds x backend_cost_factor(job.cfg.backend, n_qubits), so one
+ * frame-backend round of one shot is the unit.  This is the campaign cost
+ * model's first stage (ROADMAP "backend-aware campaign planning"): `plan`
+ * weights per-shard shot loads with it so mixed-backend and mixed-code
+ * sweeps print honest relative loads, not raw shot counts that hide a
+ * tableau job costing ~n^2/64 x a frame job.  Throughput model only —
+ * never result-affecting.
+ *
+ * @param n_qubits the job's code size (campaign::make_code(job.code)
+ *        ->code.n_qubits(); a plan over many jobs should cache it per
+ *        distinct code spec).
+ */
+double job_cost_units(const JobSpec& job, int n_qubits, long shots);
+
+/**
  * The shard partition: shard i of N owns RNG stream s of every job iff
  * s % N == i.  Streams — not jobs — are the partition unit, so (a) any N
  * up to the stream count splits even a single-job campaign, and (b) the

@@ -29,7 +29,9 @@ class MobilityEstimator {
     /** The measured conditional rate (0 if no evidence yet). */
     double conditional_rate() const
     {
-        return flagged_ > 0 ? static_cast<double>(co_leaked_) / flagged_ : 0.0;
+        return flagged_ > 0 ? static_cast<double>(co_leaked_) /
+                                  static_cast<double>(flagged_)
+                            : 0.0;
     }
     long samples() const { return flagged_; }
 

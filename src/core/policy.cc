@@ -17,14 +17,14 @@ IdealPolicy::observe(int round, const RoundResult& rr, LrcSchedule* out)
     (void)round;
     (void)rr;
     out->clear();
-    if (sim_ == nullptr)
+    if (oracle_ == nullptr)
         return;
     for (int q = 0; q < ctx_->code().n_data(); ++q) {
-        if (sim_->data_leaked(q))
+        if (oracle_->data_leaked(q))
             out->data_qubits.push_back(q);
     }
     for (int c = 0; c < ctx_->code().n_checks(); ++c) {
-        if (sim_->check_leaked(c))
+        if (oracle_->check_leaked(c))
             out->checks.push_back(c);
     }
 }

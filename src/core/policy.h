@@ -46,13 +46,16 @@ class IdealPolicy : public Policy {
   public:
     explicit IdealPolicy(const CodeContext& ctx) : ctx_(&ctx) {}
     std::string name() const override { return "IDEAL"; }
-    void set_oracle(const Simulator* sim) override { sim_ = sim; }
+    void set_oracle(const Simulator* sim) override
+    {
+        oracle_ = sim != nullptr ? &sim->leak_oracle() : nullptr;
+    }
     void observe(int round, const RoundResult& rr,
                  LrcSchedule* out) override;
 
   private:
     const CodeContext* ctx_;
-    const Simulator* sim_ = nullptr;
+    const LeakageOracle* oracle_ = nullptr;  ///< the shared driver's truth
 };
 
 /**

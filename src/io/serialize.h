@@ -34,8 +34,14 @@ namespace io {
  *    "frame"), but the config HASH now covers the backend field, so
  *    version-1 campaign checkpoints are refused as stale by the
  *    config-hash check rather than silently resumed.
+ *  - 3: no field changes; bumped because the shared-LeakageDriver
+ *    refactor changed the frame backend's draw sequence (a reset pulse
+ *    no longer draws for a leaked ancilla), so frame results under the
+ *    same config differ from version-2 binaries.  The hash covers
+ *    gld_version, so pre-driver checkpoints are refused as stale
+ *    instead of being silently mixed with new-partial streams.
  */
-constexpr int kSerializeVersion = 2;
+constexpr int kSerializeVersion = 3;
 
 /** IEEE-754 binary64 → "0x<16 hex digits>" (bit_cast, exact). */
 std::string f64_to_hex(double v);

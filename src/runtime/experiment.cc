@@ -57,6 +57,10 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
     std::unique_ptr<Policy> policy =
         factory(*ctx_, block_master.split(2).next_u64());
     policy->set_oracle(sim.get());
+    // Ground truth for the speculation accounting below: the shared
+    // LeakageDriver's flag state, read through the one oracle interface
+    // instead of per-call virtual hops on the backend.
+    const LeakageOracle& truth = sim->leak_oracle();
 
     std::unique_ptr<UnionFindDecoder> decoder;
     std::vector<int> z_checks;
@@ -87,7 +91,7 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
         for (int r = 0; r < cfg_.rounds; ++r) {
             // Account the LRCs about to be applied against ground truth.
             for (int q : sched.data_qubits) {
-                if (sim->data_leaked(q))
+                if (truth.data_leaked(q))
                     m.tp_total += 1;
                 else
                     m.fp_total += 1;
@@ -103,17 +107,17 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
             for (int q : sched.data_qubits)
                 sched_stamp[q] = r;
             for (int q = 0; q < n_data; ++q) {
-                if (sim->data_leaked(q) && sched_stamp[q] != r)
+                if (truth.data_leaked(q) && sched_stamp[q] != r)
                     m.fn_total += 1;
             }
 
             const double dlp =
-                static_cast<double>(sim->n_data_leaked()) / n_data;
+                static_cast<double>(truth.n_data_leaked()) / n_data;
             m.dlp_total += dlp;
             if (cfg_.record_dlp_series)
                 m.dlp_series[r] += dlp;
             m.check_leak_total +=
-                static_cast<double>(sim->n_check_leaked()) / n_checks;
+                static_cast<double>(truth.n_check_leaked()) / n_checks;
 
             if (graph != nullptr) {
                 for (int zi = 0; zi < nz; ++zi) {

@@ -36,11 +36,13 @@ Metrics::dlp_equilibrium(double tail_frac) const
         return 0.0;
     const size_t n = dlp_series.size();
     const size_t start =
-        n - std::max<size_t>(1, static_cast<size_t>(tail_frac * n));
+        n - std::max<size_t>(
+                1, static_cast<size_t>(tail_frac * static_cast<double>(n)));
     double sum = 0;
     for (size_t i = start; i < n; ++i)
         sum += dlp_series[i];
-    return sum / (static_cast<double>(n - start) * shots);
+    return sum / (static_cast<double>(n - start) *
+                  static_cast<double>(shots));
 }
 
 std::vector<double>
@@ -48,7 +50,8 @@ Metrics::dlp_curve() const
 {
     std::vector<double> out(dlp_series.size());
     for (size_t i = 0; i < dlp_series.size(); ++i)
-        out[i] = shots > 0 ? dlp_series[i] / shots : 0.0;
+        out[i] = shots > 0 ? dlp_series[i] / static_cast<double>(shots)
+                           : 0.0;
     return out;
 }
 

@@ -1,291 +1,61 @@
-#include <cstddef>
 #include "sim/frame_sim.h"
-
-#include <cassert>
 
 namespace gld {
 
 LeakFrameSim::LeakFrameSim(const CssCode& code, const RoundCircuit& rc,
                            const NoiseParams& np, uint64_t seed)
-    : code_(&code), rc_(&rc), np_(np), rng_(seed)
+    : LeakageDriverSim(code, rc, np, Rng(seed)),
+      fx_(static_cast<size_t>(code.n_qubits()), 0),
+      fz_(static_cast<size_t>(code.n_qubits()), 0)
 {
-    const int nq = code.n_qubits();
-    fx_.assign(nq, 0);
-    fz_.assign(nq, 0);
-    leaked_.assign(nq, 0);
-    prev_meas_.assign(code.n_checks(), 0);
-    // Fixed LRC partner per data qubit: its first adjacent check's ancilla.
-    lrc_partner_.assign(code.n_data(), -1);
-    for (int q = 0; q < code.n_data(); ++q) {
-        if (!code.data_adjacency()[q].empty())
-            lrc_partner_[q] = code.data_adjacency()[q].front();
-    }
-    reset_shot();
 }
 
 void
-LeakFrameSim::reset_shot()
+LeakFrameSim::reset_state()
 {
     std::fill(fx_.begin(), fx_.end(), 0);
     std::fill(fz_.begin(), fz_.end(), 0);
-    std::fill(leaked_.begin(), leaked_.end(), 0);
-    std::fill(prev_meas_.begin(), prev_meas_.end(), 0);
-    first_round_ = true;
-}
-
-int
-LeakFrameSim::n_data_leaked() const
-{
-    int n = 0;
-    for (int q = 0; q < code_->n_data(); ++q)
-        n += leaked_[q];
-    return n;
-}
-
-int
-LeakFrameSim::n_check_leaked() const
-{
-    int n = 0;
-    for (int c = 0; c < code_->n_checks(); ++c)
-        n += leaked_[code_->ancilla_of(c)];
-    return n;
 }
 
 void
-LeakFrameSim::depolarize1(int q)
+LeakFrameSim::apply_pauli(int q, uint32_t pauli)
 {
-    if (!rng_.bernoulli(np_.p))
-        return;
-    switch (rng_.uniform_int(3)) {
-      case 0:
-        fx_[q] ^= 1;
-        break;
-      case 1:
-        fz_[q] ^= 1;
-        break;
-      default:
-        fx_[q] ^= 1;
-        fz_[q] ^= 1;
-    }
+    fx_[static_cast<size_t>(q)] ^= static_cast<uint8_t>(pauli & 1u);
+    fz_[static_cast<size_t>(q)] ^= static_cast<uint8_t>((pauli >> 1) & 1u);
 }
 
 void
-LeakFrameSim::depolarize2(int q0, int q1)
+LeakFrameSim::coherent_cnot(int control, int target)
 {
-    if (!rng_.bernoulli(np_.p))
-        return;
-    // One of the 15 non-identity two-qubit Paulis, uniformly.
-    const uint32_t pauli = 1 + rng_.uniform_int(15);
-    const uint32_t p0 = pauli & 3u;        // I,X,Z,Y encoding: bit0=X, bit1=Z
-    const uint32_t p1 = (pauli >> 2) & 3u;
-    fx_[q0] ^= p0 & 1u;
-    fz_[q0] ^= (p0 >> 1) & 1u;
-    fx_[q1] ^= p1 & 1u;
-    fz_[q1] ^= (p1 >> 1) & 1u;
+    // Coherent action on the frame: X copies c->t, Z copies t->c.
+    fx_[static_cast<size_t>(target)] ^= fx_[static_cast<size_t>(control)];
+    fz_[static_cast<size_t>(control)] ^= fz_[static_cast<size_t>(target)];
 }
 
 void
-LeakFrameSim::leak_maybe(int q)
+LeakFrameSim::hadamard(int q)
 {
-    if (rng_.bernoulli(np_.pl()))
-        leaked_[q] = 1;
+    std::swap(fx_[static_cast<size_t>(q)], fz_[static_cast<size_t>(q)]);
 }
 
 void
-LeakFrameSim::cnot(int control, int target)
+LeakFrameSim::reset_z(int q)
 {
-    const bool cl = leaked_[control] != 0;
-    const bool tl = leaked_[target] != 0;
-    if (!cl && !tl) {
-        // Coherent action on the frame: X copies c->t, Z copies t->c.
-        fx_[target] ^= fx_[control];
-        fz_[control] ^= fz_[target];
-    } else if (cl && !tl) {
-        // Leaked control: transport with prob `mobility` (the leakage
-        // population moves to the target), else the gate malfunctions and
-        // the target is disturbed (paper §2.3).
-        if (rng_.bernoulli(np_.mobility)) {
-            leaked_[target] = 1;
-            leaked_[control] = 0;
-        } else {
-            malfunction(target, /*is_control=*/false);
-        }
-    } else if (!cl && tl) {
-        // Leaked target: the control is disturbed.
-        malfunction(control, /*is_control=*/true);
-    }
-    // Both leaked: gate does nothing observable in the subspace.
+    fx_[static_cast<size_t>(q)] = 0;
+    fz_[static_cast<size_t>(q)] = 0;
+}
 
-    // Gate-induced depolarizing and leakage on both operands.
-    depolarize2(control, target);
-    leak_maybe(control);
-    leak_maybe(target);
+uint8_t
+LeakFrameSim::measure_z(int q)
+{
+    return fx_[static_cast<size_t>(q)];
 }
 
 void
-LeakFrameSim::malfunction(int partner, bool is_control)
+LeakFrameSim::park_leaked(int /*q*/)
 {
-    const bool partner_is_ancilla = partner >= code_->n_data();
-    if (partner_is_ancilla && !np_.leaked_gate_backaction) {
-        // IBM characterization (§2.3): the malfunction manifests as an
-        // independent 50% flip of the ancilla's measured bit.  A Z-check
-        // ancilla (CNOT target) is measured in Z: flip via X.  An X-check
-        // ancilla (CNOT control, conjugated by H) is measured in X between
-        // its Hadamards: flip via Z.  Neither component propagates through
-        // the ancilla's remaining CNOTs.
-        if (rng_.bit()) {
-            if (is_control)
-                fz_[partner] ^= 1;
-            else
-                fx_[partner] ^= 1;
-        }
-        return;
-    }
-    // Full back-action: a uniformly random Pauli on the partner.
-    const uint32_t pauli = rng_.uniform_int(4);
-    fx_[partner] ^= pauli & 1u;
-    fz_[partner] ^= (pauli >> 1) & 1u;
-}
-
-void
-LeakFrameSim::apply_lrc_data(int q)
-{
-    // SWAP with the partner ancilla + reset: exchanges the leak flags,
-    // then the ancilla side is reset (cleared).
-    const int pc = lrc_partner_[q];
-    if (pc >= 0) {
-        const int anc = code_->ancilla_of(pc);
-        std::swap(leaked_[q], leaked_[anc]);
-        leaked_[anc] = 0;
-        // The swapped-in state is a fresh |0>; the data qubit's frame is
-        // effectively reset through the gadget (its pre-LRC state moved to
-        // the ancilla and was discarded).  An LRC on a non-leaked qubit in
-        // the middle of a memory experiment would destroy the data state in
-        // a real device too; the gadget swaps the state back after the
-        // ancilla reset, so the frame is preserved and only gadget noise is
-        // added.
-    } else {
-        leaked_[q] = 0;
-    }
-    // Gadget noise: ~3 CNOTs of depolarizing + leakage induction.
-    if (rng_.bernoulli(np_.lrc_depol())) {
-        switch (rng_.uniform_int(3)) {
-          case 0:
-            fx_[q] ^= 1;
-            break;
-          case 1:
-            fz_[q] ^= 1;
-            break;
-          default:
-            fx_[q] ^= 1;
-            fz_[q] ^= 1;
-        }
-    }
-    if (rng_.bernoulli(np_.lrc_leak()))
-        leaked_[q] = 1;
-}
-
-void
-LeakFrameSim::apply_lrc_check(int c)
-{
-    const int anc = code_->ancilla_of(c);
-    leaked_[anc] = 0;
-    fx_[anc] = 0;
-    fz_[anc] = 0;
-    if (rng_.bernoulli(np_.lrc_leak()))
-        leaked_[anc] = 1;
-}
-
-RoundResult
-LeakFrameSim::run_round(const LrcSchedule& lrcs)
-{
-    const int n_checks = code_->n_checks();
-    RoundResult out;
-    out.meas_flip.assign(n_checks, 0);
-    out.detector.assign(n_checks, 0);
-    out.mlr_flag.assign(n_checks, 0);
-
-    // 1. Scheduled LRC gadgets (decided by the policy last round).
-    for (int q : lrcs.data_qubits)
-        apply_lrc_data(q);
-    for (int c : lrcs.checks)
-        apply_lrc_check(c);
-
-    // 2. Round-start data noise: depolarization + environment leakage.
-    for (int q = 0; q < code_->n_data(); ++q) {
-        depolarize1(q);
-        leak_maybe(q);
-    }
-
-    // 3. Execute the scheduled extraction circuit.
-    for (const Op& op : rc_->ops()) {
-        switch (op.type) {
-          case OpType::kResetZ:
-            // Fresh |0> (does not clear leakage); init error flips to |1>.
-            fx_[op.q0] = 0;
-            fz_[op.q0] = 0;
-            if (rng_.bernoulli(np_.p))
-                fx_[op.q0] ^= 1;
-            break;
-          case OpType::kH:
-            if (!leaked_[op.q0])
-                std::swap(fx_[op.q0], fz_[op.q0]);
-            depolarize1(op.q0);
-            break;
-          case OpType::kCnot:
-            cnot(op.q0, op.q1);
-            break;
-          case OpType::kMeasure: {
-            const int anc = op.q0;
-            uint8_t flip;
-            if (leaked_[anc]) {
-                // Two-level readout of a leaked qubit: random outcome.
-                flip = rng_.bit() ? 1 : 0;
-            } else {
-                flip = fx_[anc];
-                if (rng_.bernoulli(np_.p))
-                    flip ^= 1;
-            }
-            out.meas_flip[op.mslot] = flip;
-            // MLR leak flag with symmetric misclassification.
-            uint8_t leak_flag = leaked_[anc] ? 1 : 0;
-            if (rng_.bernoulli(np_.mlr_err()))
-                leak_flag ^= 1;
-            out.mlr_flag[op.mslot] = leak_flag;
-            break;
-          }
-        }
-    }
-
-    // 4. Detector bits.
-    for (int c = 0; c < n_checks; ++c) {
-        if (first_round_ && code_->check(c).type == CheckType::kX) {
-            // Round-0 X-check outcomes are random projections in a Z-basis
-            // memory; they carry no detector information.
-            out.detector[c] = 0;
-        } else {
-            out.detector[c] = out.meas_flip[c] ^ prev_meas_[c];
-        }
-    }
-    prev_meas_ = out.meas_flip;
-    first_round_ = false;
-    return out;
-}
-
-std::vector<uint8_t>
-LeakFrameSim::final_data_measure()
-{
-    std::vector<uint8_t> flips(code_->n_data(), 0);
-    for (int q = 0; q < code_->n_data(); ++q) {
-        if (leaked_[q]) {
-            flips[q] = rng_.bit() ? 1 : 0;
-        } else {
-            flips[q] = fx_[q];
-            if (rng_.bernoulli(np_.p))
-                flips[q] ^= 1;
-        }
-    }
-    return flips;
+    // The frame freezes in place: the driver stops routing coherent gates
+    // at the qubit, and whatever frame it had resumes if an LRC clears it.
 }
 
 }  // namespace gld

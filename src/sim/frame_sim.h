@@ -8,106 +8,46 @@
 #include "circuit/round_circuit.h"
 #include "codes/css_code.h"
 #include "noise/noise_model.h"
-#include "sim/simulator.h"
+#include "sim/leakage_driver.h"
 #include "util/rng.h"
 
 namespace gld {
 
 /**
- * Leakage-aware Pauli-frame simulator for repeated syndrome extraction.
+ * Pauli-frame backend: the paper's engine.
  *
- * The computational-subspace part of the state is tracked as an X/Z Pauli
- * frame relative to the noiseless reference execution (exactly what a
- * stabilizer frame sampler computes for Pauli noise); leakage is tracked as
- * a classical per-qubit flag with the gate-malfunction semantics calibrated
- * in the paper's §2.3:
+ * The computational-subspace state is an X/Z Pauli frame relative to the
+ * noiseless reference execution (exactly what a stabilizer frame sampler
+ * computes for Pauli noise), so every primitive is O(1) bit arithmetic.
+ * All leakage dynamics come from the shared LeakageDriver; this class only
+ * says what the frame does under each primitive:
  *
- *  - CNOT with a leaked operand does not perform its coherent action; the
- *    non-leaked partner receives a uniformly random Pauli.  If the control
- *    is leaked, the leakage is instead transported to the target with
- *    probability `mobility`.
- *  - Two-level readout of a leaked qubit returns a uniformly random
- *    outcome; MLR reports the true leak flag with symmetric error mlr*p.
- *  - Measurement + reset do NOT clear leakage; only LRC gadgets do.
- *  - A data-qubit LRC is a SWAP with a designated partner ancilla followed
- *    by reset: it *exchanges* leakage with the partner (a false-positive
- *    LRC against a leaked ancilla pumps leakage INTO the data qubit), then
- *    applies gadget noise.  An ancilla LRC resets the ancilla's leakage.
+ *  - measure_z reads the ancilla's X-frame bit (outcome flip vs the
+ *    reference) without disturbing it;
+ *  - park_leaked is a no-op — a leaked qubit's frame simply freezes (the
+ *    driver routes no coherent gates at it) until an LRC clears the flag;
+ *  - an LRC preserves the serviced qubit's frame (the gadget swaps the
+ *    state back after the ancilla reset), so only gadget noise is added.
  */
-class LeakFrameSim : public Simulator {
+class LeakFrameSim final : public LeakageDriverSim {
   public:
     LeakFrameSim(const CssCode& code, const RoundCircuit& rc,
                  const NoiseParams& np, uint64_t seed);
 
     std::string name() const override { return "frame"; }
 
-    /** Clears all state for a new shot. */
-    void reset_shot() override;
-
-    /** Forces a data qubit into the leaked state (leakage sampling, §6). */
-    void inject_data_leak(int q) override { leaked_[q] = 1; }
-    /** Forces an ancilla (by check index) into the leaked state. */
-    void inject_check_leak(int c) override
-    {
-        leaked_[code_->ancilla_of(c)] = 1;
-    }
-    /** Injects an X (bit-flip) error on a qubit (tests / fault studies). */
-    void inject_x(int q) override { fx_[q] ^= 1; }
-    /** Injects a Z (phase-flip) error on a qubit. */
-    void inject_z(int q) override { fz_[q] ^= 1; }
-    /** Clears a qubit's leak flag (tests). */
-    void clear_leak(int q) override { leaked_[q] = 0; }
-
-    bool data_leaked(int q) const override { return leaked_[q] != 0; }
-    bool check_leaked(int c) const override
-    {
-        return leaked_[code_->ancilla_of(c)] != 0;
-    }
-    /** Number of currently-leaked data qubits. */
-    int n_data_leaked() const override;
-    /** Number of currently-leaked ancilla qubits. */
-    int n_check_leaked() const override;
-
-    /**
-     * Applies the scheduled LRC gadgets (start-of-round semantics), then
-     * executes one noisy syndrome-extraction round.
-     * @param lrcs gadgets decided by the policy after the previous round.
-     */
-    RoundResult run_round(const LrcSchedule& lrcs) override;
-
-    /**
-     * Transversal Z-basis readout of all data qubits at the end of the
-     * memory experiment.  Returns the per-qubit outcome flip (leaked qubits
-     * read out randomly).
-     */
-    std::vector<uint8_t> final_data_measure() override;
-
-    Rng& rng() { return rng_; }
-    const NoiseParams& noise() const { return np_; }
-
-    /** The LRC partner ancilla (check index) used for data qubit q. */
-    int lrc_partner(int q) const { return lrc_partner_[q]; }
-
   private:
-    void apply_lrc_data(int q);
-    void apply_lrc_check(int c);
-    void depolarize1(int q);
-    void depolarize2(int q0, int q1);
-    void leak_maybe(int q);
-    void cnot(int control, int target);
-    void malfunction(int partner, bool is_control);
+    // --- StatePrimitives over the X/Z frame. ---
+    void reset_state() override;
+    void apply_pauli(int q, uint32_t pauli) override;
+    void coherent_cnot(int control, int target) override;
+    void hadamard(int q) override;
+    void reset_z(int q) override;
+    uint8_t measure_z(int q) override;
+    void park_leaked(int q) override;
 
-    const CssCode* code_;
-    const RoundCircuit* rc_;
-    NoiseParams np_;
-    Rng rng_;
-
-    std::vector<uint8_t> fx_;      ///< X-frame bit per qubit
-    std::vector<uint8_t> fz_;      ///< Z-frame bit per qubit
-    std::vector<uint8_t> leaked_;  ///< leak flag per qubit
-    std::vector<uint8_t> prev_meas_;
-    std::vector<int> lrc_partner_;
-    bool first_round_ = true;
+    std::vector<uint8_t> fx_;  ///< X-frame bit per qubit
+    std::vector<uint8_t> fz_;  ///< Z-frame bit per qubit
 };
 
 }  // namespace gld

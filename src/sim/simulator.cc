@@ -8,27 +8,76 @@
 
 namespace gld {
 
+namespace {
+
+/**
+ * The one backend table: enum value + canonical name.  backend_name,
+ * backend_from_name, known_backends and make_simulator all derive from it,
+ * so a new backend registers exactly once and every error message lists it
+ * automatically.
+ */
+struct BackendEntry {
+    SimBackend backend;
+    const char* name;
+};
+
+constexpr BackendEntry kBackendTable[] = {
+    {SimBackend::kFrame, "frame"},
+    {SimBackend::kTableau, "tableau"},
+};
+
+[[noreturn]] void
+throw_unknown_backend(const std::string& what)
+{
+    throw std::runtime_error(what + " (known backends: " +
+                             known_backend_names() + ")");
+}
+
+}  // namespace
+
 const char*
 backend_name(SimBackend backend)
 {
-    switch (backend) {
-      case SimBackend::kFrame:
-        return "frame";
-      case SimBackend::kTableau:
-        return "tableau";
+    for (const BackendEntry& e : kBackendTable) {
+        if (e.backend == backend)
+            return e.name;
     }
-    throw std::runtime_error("backend_name: invalid SimBackend value");
+    throw_unknown_backend("invalid SimBackend value " +
+                          std::to_string(static_cast<int>(backend)));
+}
+
+const std::vector<SimBackend>&
+known_backends()
+{
+    static const std::vector<SimBackend> all = [] {
+        std::vector<SimBackend> v;
+        for (const BackendEntry& e : kBackendTable)
+            v.push_back(e.backend);
+        return v;
+    }();
+    return all;
+}
+
+std::string
+known_backend_names()
+{
+    std::string names;
+    for (const BackendEntry& e : kBackendTable) {
+        if (!names.empty())
+            names += ", ";
+        names += e.name;
+    }
+    return names;
 }
 
 SimBackend
 backend_from_name(const std::string& name)
 {
-    if (name == "frame")
-        return SimBackend::kFrame;
-    if (name == "tableau")
-        return SimBackend::kTableau;
-    throw std::runtime_error("unknown simulation backend \"" + name +
-                             "\" (want frame or tableau)");
+    for (const BackendEntry& e : kBackendTable) {
+        if (name == e.name)
+            return e.backend;
+    }
+    throw_unknown_backend("unknown simulation backend \"" + name + "\"");
 }
 
 SimBackend
@@ -37,7 +86,31 @@ backend_from_env()
     const char* s = std::getenv("GLD_BACKEND");
     if (s == nullptr || s[0] == '\0')
         return SimBackend::kFrame;
-    return backend_from_name(s);
+    try {
+        return backend_from_name(s);
+    } catch (const std::runtime_error&) {
+        throw_unknown_backend("GLD_BACKEND=\"" + std::string(s) +
+                              "\" names no simulation backend");
+    }
+}
+
+double
+backend_cost_factor(SimBackend backend, int n_qubits)
+{
+    switch (backend) {
+      case SimBackend::kFrame:
+        return 1.0;
+      case SimBackend::kTableau: {
+        // CHP measurement cost: 2n tableau rows x n/64 bit-plane words,
+        // against the frame engine's O(1) per measured bit.  Floor at 1:
+        // tiny codes are never cheaper than the frame engine.
+        const double n = static_cast<double>(n_qubits);
+        const double factor = n * n / 64.0;
+        return factor < 1.0 ? 1.0 : factor;
+      }
+    }
+    throw_unknown_backend("invalid SimBackend value " +
+                          std::to_string(static_cast<int>(backend)));
 }
 
 std::unique_ptr<Simulator>
@@ -50,7 +123,8 @@ make_simulator(SimBackend backend, const CssCode& code,
       case SimBackend::kTableau:
         return std::make_unique<TableauLeakSim>(code, rc, np, seed);
     }
-    throw std::runtime_error("make_simulator: invalid SimBackend value");
+    throw_unknown_backend("make_simulator: invalid SimBackend value " +
+                          std::to_string(static_cast<int>(backend)));
 }
 
 }  // namespace gld

@@ -35,12 +35,31 @@ struct LrcSchedule {
 };
 
 /**
+ * Ground-truth view of the classical leakage state.  There is exactly one
+ * implementation — the shared LeakageDriver — so the oracle the runner's
+ * speculation accounting and the IDEAL policy read is the same object on
+ * every backend, by construction.
+ */
+class LeakageOracle {
+  public:
+    virtual ~LeakageOracle() = default;
+
+    virtual bool data_leaked(int q) const = 0;
+    virtual bool check_leaked(int c) const = 0;
+    /** Number of currently-leaked data qubits. */
+    virtual int n_data_leaked() const = 0;
+    /** Number of currently-leaked ancilla qubits. */
+    virtual int n_check_leaked() const = 0;
+};
+
+/**
  * Abstract simulation backend for the closed-loop memory experiment.
  *
  * A backend executes the scheduled syndrome-extraction circuit of one code
- * round by round, tracks leakage as classical per-qubit state with the
- * paper's gate-malfunction semantics, and exposes the ground-truth leak
- * oracle the runner (speculation accounting) and the IDEAL policy read.
+ * round by round.  The classical leakage dynamics — gate malfunction,
+ * mobility transport, MLR, LRC gadgets — are NOT the backend's to define:
+ * they live in the shared LeakageDriver (sim/leakage_driver.h), and a
+ * backend only provides the quantum-state primitives the driver runs over.
  *
  * Contract shared by every backend:
  *  - run_round() applies the scheduled LRCs first (start-of-round
@@ -73,13 +92,17 @@ class Simulator {
     /** Clears a qubit's leak flag (tests). */
     virtual void clear_leak(int q) = 0;
 
-    // --- Ground-truth leak oracle. ---
-    virtual bool data_leaked(int q) const = 0;
-    virtual bool check_leaked(int c) const = 0;
+    /** The ground-truth leak oracle (the shared driver's flag state). */
+    virtual const LeakageOracle& leak_oracle() const = 0;
+
+    // Convenience pass-throughs so oracle reads stay one call deep at
+    // every existing call site.
+    bool data_leaked(int q) const { return leak_oracle().data_leaked(q); }
+    bool check_leaked(int c) const { return leak_oracle().check_leaked(c); }
     /** Number of currently-leaked data qubits. */
-    virtual int n_data_leaked() const = 0;
+    int n_data_leaked() const { return leak_oracle().n_data_leaked(); }
     /** Number of currently-leaked ancilla qubits. */
-    virtual int n_check_leaked() const = 0;
+    int n_check_leaked() const { return leak_oracle().n_check_leaked(); }
 
     /**
      * Applies the scheduled LRC gadgets, then executes one noisy
@@ -98,8 +121,9 @@ class Simulator {
 /**
  * The available backends.  kFrame is the paper's Pauli-frame engine (fast,
  * samples Pauli noise exactly); kTableau drives the exact CHP stabilizer
- * tableau through the same round circuit with the same classical leakage
- * semantics (slower by O(n^2) per measurement; exact-stabilizer states).
+ * tableau through the same round circuit (slower by O(n^2) per
+ * measurement; exact-stabilizer states).  Both share the one LeakageDriver
+ * for every classical-leakage decision.
  */
 enum class SimBackend : uint8_t {
     kFrame = 0,
@@ -109,15 +133,34 @@ enum class SimBackend : uint8_t {
 /** Canonical backend name ("frame" / "tableau"). */
 const char* backend_name(SimBackend backend);
 
-/** Inverse of backend_name; throws std::runtime_error on unknown names. */
+/** Every known backend, in enum order (the factory's dispatch set). */
+const std::vector<SimBackend>& known_backends();
+
+/** Comma-separated canonical names, for error messages and --help text. */
+std::string known_backend_names();
+
+/**
+ * Inverse of backend_name; throws std::runtime_error naming the unknown
+ * input AND listing every known backend.
+ */
 SimBackend backend_from_name(const std::string& name);
 
 /**
  * The backend selected by the GLD_BACKEND environment variable — the one
  * resolution point benches and examples share.  Unset/empty means kFrame;
- * an unknown name throws (same contract as backend_from_name).
+ * an unknown name throws, naming the variable and the known backends.
  */
 SimBackend backend_from_env();
+
+/**
+ * Relative per-shot simulation cost of a backend on an n-qubit code,
+ * normalized to the frame engine (= 1).  The tableau backend pays
+ * O(n^2/64) bit-plane words per measurement where the frame engine pays
+ * O(1) per frame bit, so its factor grows quadratically with code size.
+ * Used by campaign planning to print honest per-shard loads for
+ * mixed-backend sweeps; it is a throughput model, never result-affecting.
+ */
+double backend_cost_factor(SimBackend backend, int n_qubits);
 
 /** Builds a backend over a code's scheduled round circuit. */
 std::unique_ptr<Simulator> make_simulator(SimBackend backend,

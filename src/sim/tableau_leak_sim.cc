@@ -1,70 +1,22 @@
 #include "sim/tableau_leak_sim.h"
 
-#include <algorithm>
-
 namespace gld {
 
 TableauLeakSim::TableauLeakSim(const CssCode& code, const RoundCircuit& rc,
                                const NoiseParams& np, uint64_t seed)
-    : code_(&code), rc_(&rc), np_(np),
-      rng_(Rng(seed).split(0).next_u64()),
+    // The driver's noise draws and the tableau's random projection
+    // outcomes come from disjoint splits of the one seed, so a seed still
+    // fixes the whole shot sequence.
+    : LeakageDriverSim(code, rc, np, Rng(Rng(seed).split(0).next_u64())),
       tab_(code.n_qubits(), Rng(seed).split(1).next_u64())
 {
-    const int nq = code.n_qubits();
-    leaked_.assign(nq, 0);
-    prev_meas_.assign(code.n_checks(), 0);
-    // Fixed LRC partner per data qubit: its first adjacent check's ancilla
-    // (identical to LeakFrameSim so LRC-induced leak flow matches).
-    lrc_partner_.assign(code.n_data(), -1);
-    for (int q = 0; q < code.n_data(); ++q) {
-        if (!code.data_adjacency()[q].empty())
-            lrc_partner_[q] = code.data_adjacency()[q].front();
-    }
-}
-
-void
-TableauLeakSim::reset_shot()
-{
-    tab_.reset_all();
-    std::fill(leaked_.begin(), leaked_.end(), 0);
-    std::fill(prev_meas_.begin(), prev_meas_.end(), 0);
-    first_round_ = true;
-}
-
-void
-TableauLeakSim::leak(int q)
-{
-    if (leaked_[q])
-        return;
-    leaked_[q] = 1;
-    // Collapse the departing qubit in Z so the stabilizer state of the
-    // remaining qubits stays well-defined while this one sits in |2>.
-    tab_.measure_z(q);
-}
-
-int
-TableauLeakSim::n_data_leaked() const
-{
-    int n = 0;
-    for (int q = 0; q < code_->n_data(); ++q)
-        n += leaked_[q];
-    return n;
-}
-
-int
-TableauLeakSim::n_check_leaked() const
-{
-    int n = 0;
-    for (int c = 0; c < code_->n_checks(); ++c)
-        n += leaked_[code_->ancilla_of(c)];
-    return n;
 }
 
 void
 TableauLeakSim::apply_pauli(int q, uint32_t pauli)
 {
-    // Same encoding as the frame engine: bit0 = X, bit1 = Z (Y = both;
-    // the global phase is irrelevant to stabilizer statistics).
+    // kPauli* encoding: bit0 = X, bit1 = Z (Y = both; the global phase is
+    // irrelevant to stabilizer statistics).
     if (pauli & 1u)
         tab_.x(q);
     if (pauli & 2u)
@@ -72,204 +24,11 @@ TableauLeakSim::apply_pauli(int q, uint32_t pauli)
 }
 
 void
-TableauLeakSim::depolarize1(int q)
+TableauLeakSim::park_leaked(int q)
 {
-    if (!rng_.bernoulli(np_.p))
-        return;
-    apply_pauli(q, 1 + rng_.uniform_int(3));
-}
-
-void
-TableauLeakSim::depolarize2(int q0, int q1)
-{
-    if (!rng_.bernoulli(np_.p))
-        return;
-    const uint32_t pauli = 1 + rng_.uniform_int(15);
-    apply_pauli(q0, pauli & 3u);
-    apply_pauli(q1, (pauli >> 2) & 3u);
-}
-
-void
-TableauLeakSim::leak_maybe(int q)
-{
-    if (rng_.bernoulli(np_.pl()))
-        leak(q);
-}
-
-void
-TableauLeakSim::cnot(int control, int target)
-{
-    const bool cl = leaked_[control] != 0;
-    const bool tl = leaked_[target] != 0;
-    if (!cl && !tl) {
-        tab_.cnot(control, target);
-    } else if (cl && !tl) {
-        // Leaked control: transport with prob `mobility`, else the gate
-        // malfunctions and the target is disturbed (paper §2.3).
-        if (rng_.bernoulli(np_.mobility)) {
-            leak(target);
-            leaked_[control] = 0;
-        } else {
-            malfunction(target, /*is_control=*/false);
-        }
-    } else if (!cl && tl) {
-        malfunction(control, /*is_control=*/true);
-    }
-    // Both leaked: gate does nothing observable in the subspace.
-
-    depolarize2(control, target);
-    leak_maybe(control);
-    leak_maybe(target);
-}
-
-void
-TableauLeakSim::malfunction(int partner, bool is_control)
-{
-    const bool partner_is_ancilla = partner >= code_->n_data();
-    if (partner_is_ancilla && !np_.leaked_gate_backaction) {
-        // IBM characterization (§2.3): an independent 50% flip of the
-        // ancilla's measured bit — X for a Z-check ancilla (measured in
-        // Z), Z for an X-check ancilla (measured in X between its
-        // Hadamards).
-        if (rng_.bit()) {
-            if (is_control)
-                tab_.z(partner);
-            else
-                tab_.x(partner);
-        }
-        return;
-    }
-    apply_pauli(partner, rng_.uniform_int(4));
-}
-
-void
-TableauLeakSim::apply_lrc_data(int q)
-{
-    // SWAP with the partner ancilla + reset: exchanges the leak flags,
-    // then the ancilla side is reset (cleared).
-    const int pc = lrc_partner_[q];
-    if (pc >= 0) {
-        const int anc = code_->ancilla_of(pc);
-        const bool anc_was_leaked = leaked_[anc] != 0;
-        leaked_[q] = 0;
-        leaked_[anc] = 0;
-        if (anc_was_leaked)
-            leak(q);  // false-positive LRC pumps the partner's leak IN
-    } else {
-        leaked_[q] = 0;
-    }
-    // Gadget noise: ~3 CNOTs of depolarizing + leakage induction.
-    if (rng_.bernoulli(np_.lrc_depol()))
-        apply_pauli(q, 1 + rng_.uniform_int(3));
-    if (rng_.bernoulli(np_.lrc_leak()))
-        leak(q);
-}
-
-void
-TableauLeakSim::apply_lrc_check(int c)
-{
-    const int anc = code_->ancilla_of(c);
-    leaked_[anc] = 0;
-    tab_.reset_z(anc);
-    if (rng_.bernoulli(np_.lrc_leak()))
-        leak(anc);
-}
-
-RoundResult
-TableauLeakSim::run_round(const LrcSchedule& lrcs)
-{
-    const int n_checks = code_->n_checks();
-    RoundResult out;
-    out.meas_flip.assign(n_checks, 0);
-    out.detector.assign(n_checks, 0);
-    out.mlr_flag.assign(n_checks, 0);
-
-    // 1. Scheduled LRC gadgets (decided by the policy last round).
-    for (int q : lrcs.data_qubits)
-        apply_lrc_data(q);
-    for (int c : lrcs.checks)
-        apply_lrc_check(c);
-
-    // 2. Round-start data noise: depolarization + environment leakage.
-    for (int q = 0; q < code_->n_data(); ++q) {
-        depolarize1(q);
-        leak_maybe(q);
-    }
-
-    // 3. Execute the scheduled extraction circuit; gates skip leaked
-    //    operands (their coherent action malfunctions instead).
-    for (const Op& op : rc_->ops()) {
-        switch (op.type) {
-          case OpType::kResetZ:
-            // Reset does not clear leakage, and a reset pulse has no
-            // effect on a |2> qubit's parked tableau state.
-            if (!leaked_[op.q0]) {
-                tab_.reset_z(op.q0);
-                if (rng_.bernoulli(np_.p))
-                    tab_.x(op.q0);  // init error flips to |1>
-            }
-            break;
-          case OpType::kH:
-            if (!leaked_[op.q0])
-                tab_.h(op.q0);
-            depolarize1(op.q0);
-            break;
-          case OpType::kCnot:
-            cnot(op.q0, op.q1);
-            break;
-          case OpType::kMeasure: {
-            const int anc = op.q0;
-            uint8_t bit;
-            if (leaked_[anc]) {
-                // Two-level readout of a leaked qubit: random outcome.
-                bit = rng_.bit() ? 1 : 0;
-            } else {
-                bit = tab_.measure_z(anc) ? 1 : 0;
-                if (rng_.bernoulli(np_.p))
-                    bit ^= 1;
-            }
-            // Actual outcome, not a flip-vs-reference: see the class
-            // comment — detector semantics come out identical.
-            out.meas_flip[op.mslot] = bit;
-            uint8_t leak_flag = leaked_[anc] ? 1 : 0;
-            if (rng_.bernoulli(np_.mlr_err()))
-                leak_flag ^= 1;
-            out.mlr_flag[op.mslot] = leak_flag;
-            break;
-          }
-        }
-    }
-
-    // 4. Detector bits (round-0 X-check outcomes are random projections
-    //    in a Z-basis memory; they carry no detector information).
-    for (int c = 0; c < n_checks; ++c) {
-        if (first_round_ && code_->check(c).type == CheckType::kX) {
-            out.detector[c] = 0;
-        } else {
-            out.detector[c] = out.meas_flip[c] ^ prev_meas_[c];
-        }
-    }
-    prev_meas_ = out.meas_flip;
-    first_round_ = false;
-    return out;
-}
-
-std::vector<uint8_t>
-TableauLeakSim::final_data_measure()
-{
-    // Z-basis memory of |0...0>: the noiseless reference outcome is 0, so
-    // the actual outcome IS the flip.
-    std::vector<uint8_t> flips(code_->n_data(), 0);
-    for (int q = 0; q < code_->n_data(); ++q) {
-        if (leaked_[q]) {
-            flips[q] = rng_.bit() ? 1 : 0;
-        } else {
-            flips[q] = tab_.measure_z(q) ? 1 : 0;
-            if (rng_.bernoulli(np_.p))
-                flips[q] ^= 1;
-        }
-    }
-    return flips;
+    // Collapse the departing qubit in Z so the stabilizer state of the
+    // remaining qubits stays well-defined while this one sits in |2>.
+    tab_.measure_z(q);
 }
 
 }  // namespace gld

@@ -3,98 +3,67 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "circuit/round_circuit.h"
 #include "codes/css_code.h"
 #include "noise/noise_model.h"
-#include "sim/simulator.h"
+#include "sim/leakage_driver.h"
 #include "sim/tableau_sim.h"
 #include "util/rng.h"
 
 namespace gld {
 
 /**
- * Exact-stabilizer backend: drives the CHP tableau engine through the same
- * scheduled round circuit as LeakFrameSim, with the same classical leakage
- * semantics (gate malfunction, mobility transport, MLR, LRC gadgets).
+ * Exact-stabilizer backend: the CHP tableau engine as a StatePrimitives
+ * provider for the shared LeakageDriver.
  *
- * Where the frame engine tracks a Pauli frame relative to the noiseless
+ * Where the frame backend tracks a Pauli frame relative to the noiseless
  * reference, this backend simulates the actual stabilizer state, so it is
  * exact for everything in the stabilizer formalism — at O(n^2) per
  * measurement instead of O(1) per frame bit.  Use it to validate the frame
  * backend end to end (closed loop, policies, decoding) on small codes, or
  * whenever exactness beats throughput.
  *
- * Semantics notes (the deliberate deltas from the frame engine):
- *  - RoundResult::meas_flip holds ACTUAL measurement outcomes.  For a
- *    Z-basis memory of |0...0> the noiseless Z-check reference outcome is
- *    0, so Z-check "flips" coincide; X-check outcomes are the projection
- *    values themselves, whose reference cancels in the detector XOR — the
+ * Semantics notes (the deliberate deltas from the frame backend — the
+ * round/leakage dynamics themselves are the driver's and cannot differ):
+ *  - measure_z returns ACTUAL measurement outcomes.  For a Z-basis memory
+ *    of |0...0> the noiseless Z-check reference outcome is 0, so Z-check
+ *    "flips" coincide; X-check outcomes are the projection values
+ *    themselves, whose reference cancels in the detector XOR — the
  *    detector and decoding semantics the runner and policies consume are
  *    identical across backends.
- *  - A qubit that leaks is measured out in Z (collapsed) to keep the
- *    remaining stabilizer state well-defined, then ignored by every gate
- *    until an LRC clears the flag (the frame engine instead freezes the
- *    qubit's frame).  Identical leak-flag dynamics, different
- *    computational-subspace approximation.
- *  - Both engines draw from their own seeded streams; runs agree
- *    statistically and on noiseless/injected-fault signatures, never
- *    bit-for-bit.
+ *  - park_leaked measures the departing qubit in Z (collapse) to keep the
+ *    remaining stabilizer state well-defined while it sits in |2> (the
+ *    frame backend instead freezes the qubit's frame).
+ *  - The driver's noise stream and the tableau's projection stream are
+ *    both derived from the constructor seed; runs agree with the frame
+ *    backend statistically and on noiseless/injected-fault signatures,
+ *    never bit-for-bit.
  */
-class TableauLeakSim : public Simulator {
+class TableauLeakSim final : public LeakageDriverSim {
   public:
     TableauLeakSim(const CssCode& code, const RoundCircuit& rc,
                    const NoiseParams& np, uint64_t seed);
 
     std::string name() const override { return "tableau"; }
 
-    void reset_shot() override;
-
-    void inject_data_leak(int q) override { leak(q); }
-    void inject_check_leak(int c) override { leak(code_->ancilla_of(c)); }
-    void inject_x(int q) override { tab_.x(q); }
-    void inject_z(int q) override { tab_.z(q); }
-    void clear_leak(int q) override { leaked_[q] = 0; }
-
-    bool data_leaked(int q) const override { return leaked_[q] != 0; }
-    bool check_leaked(int c) const override
-    {
-        return leaked_[code_->ancilla_of(c)] != 0;
-    }
-    int n_data_leaked() const override;
-    int n_check_leaked() const override;
-
-    RoundResult run_round(const LrcSchedule& lrcs) override;
-    std::vector<uint8_t> final_data_measure() override;
-
-    /** The LRC partner ancilla (check index) used for data qubit q. */
-    int lrc_partner(int q) const { return lrc_partner_[q]; }
-
     /** The underlying tableau (tests: stabilizer-group assertions). */
     TableauSim& tableau() { return tab_; }
 
   private:
-    void leak(int q);
-    void apply_lrc_data(int q);
-    void apply_lrc_check(int c);
-    void depolarize1(int q);
-    void depolarize2(int q0, int q1);
-    void leak_maybe(int q);
-    void cnot(int control, int target);
-    void malfunction(int partner, bool is_control);
-    void apply_pauli(int q, uint32_t pauli);
+    // --- StatePrimitives over the CHP tableau. ---
+    void reset_state() override { tab_.reset_all(); }
+    void apply_pauli(int q, uint32_t pauli) override;
+    void coherent_cnot(int control, int target) override
+    {
+        tab_.cnot(control, target);
+    }
+    void hadamard(int q) override { tab_.h(q); }
+    void reset_z(int q) override { tab_.reset_z(q); }
+    uint8_t measure_z(int q) override { return tab_.measure_z(q) ? 1 : 0; }
+    void park_leaked(int q) override;
 
-    const CssCode* code_;
-    const RoundCircuit* rc_;
-    NoiseParams np_;
-    Rng rng_;        ///< noise draws (separate from the tableau's RNG)
     TableauSim tab_;
-
-    std::vector<uint8_t> leaked_;  ///< leak flag per qubit
-    std::vector<uint8_t> prev_meas_;
-    std::vector<int> lrc_partner_;
-    bool first_round_ = true;
 };
 
 }  // namespace gld

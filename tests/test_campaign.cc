@@ -124,6 +124,31 @@ TEST(CampaignSpec, ValidationRejectsBadNames)
     EXPECT_NO_THROW(small_spec("good").validate());
 }
 
+TEST(CostModel, JobCostUnitsWeighShotsRoundsAndBackend)
+{
+    CampaignSpec spec = small_spec("cost");
+    const std::vector<JobSpec> frame_jobs = spec.expand();
+    spec.backend = SimBackend::kTableau;
+    const std::vector<JobSpec> tableau_jobs = spec.expand();
+
+    const int nq = make_code(frame_jobs[0].code)->code.n_qubits();
+    ASSERT_GT(nq, 8);  // surface:3 = 17 qubits: the tableau factor bites
+
+    // Frame: one cost unit per shot-round, exactly.
+    EXPECT_DOUBLE_EQ(job_cost_units(frame_jobs[0], nq, /*shots=*/45),
+                     45.0 * 7.0);
+    // Tableau: the same job costs the backend factor more — that is the
+    // whole point of backend-aware plan output.
+    const double factor = backend_cost_factor(SimBackend::kTableau, nq);
+    EXPECT_GT(factor, 1.0);
+    EXPECT_DOUBLE_EQ(job_cost_units(tableau_jobs[0], nq, 45),
+                     45.0 * 7.0 * factor);
+    // Linear in the shard's shot share (what `plan` sums per shard).
+    EXPECT_DOUBLE_EQ(job_cost_units(tableau_jobs[0], nq, 15),
+                     job_cost_units(tableau_jobs[0], nq, 45) / 3.0);
+    EXPECT_DOUBLE_EQ(job_cost_units(frame_jobs[0], nq, 0), 0.0);
+}
+
 TEST(ShardPlan, StreamsPartitionExactly)
 {
     ExperimentConfig cfg;

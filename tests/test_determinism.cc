@@ -3,6 +3,11 @@
 // runs and across thread counts.  ExperimentRunner partitions shots into
 // a fixed set of RNG streams and merges them in stream order, so neither
 // scheduling nor cross-thread reduction order can leak into the result.
+//
+// The contract is per backend, and this suite honours GLD_BACKEND: CI
+// runs it once per backend (default frame, then tableau), so the
+// non-default engine is gated by the same bit-exactness suite on every
+// PR, not only by the dedicated cross-backend tests.
 
 #include <gtest/gtest.h>
 
@@ -26,13 +31,22 @@ run_with_threads(const CodeContext& ctx, ExperimentConfig cfg, int threads,
     return runner.run(factory);
 }
 
+/** The backend under test: GLD_BACKEND, default frame. */
+ExperimentConfig
+base_config()
+{
+    ExperimentConfig cfg;
+    cfg.backend = backend_from_env();
+    return cfg;
+}
+
 void
 check_code(const CssCode& code, bool compute_ler)
 {
     const RoundCircuit rc(code);
     const CodeContext ctx(code, rc, CodeContext::default_scope(code));
 
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = base_config();
     cfg.np = NoiseParams::standard(1e-3, 0.1);
     cfg.rounds = 10;
     cfg.shots = 30;
@@ -82,7 +96,7 @@ TEST(Determinism, ShardedPartialsMergeBitIdenticalToRun)
     const RoundCircuit rc(code);
     const CodeContext ctx(code, rc, CodeContext::default_scope(code));
 
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = base_config();
     cfg.np = NoiseParams::standard(1e-3, 0.1);
     cfg.rounds = 10;
     cfg.shots = 30;
@@ -126,7 +140,7 @@ TEST(Determinism, StreamCount32BitIdenticalAtThreads1_8_16)
     const RoundCircuit rc(code);
     const CodeContext ctx(code, rc, CodeContext::default_scope(code));
 
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = base_config();
     cfg.np = NoiseParams::standard(1e-3, 0.1);
     cfg.rounds = 5;
     cfg.shots = 100;
@@ -159,7 +173,7 @@ TEST(Determinism, MultiBlockStreamsBitIdenticalAcrossThreads)
     const RoundCircuit rc(code);
     const CodeContext ctx(code, rc, CodeContext::default_scope(code));
 
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = base_config();
     cfg.np = NoiseParams::standard(1e-3, 0.1);
     cfg.rounds = 4;
     cfg.shots = 80;  // 2 streams x 40 shots = blocks of 32 + 8 each
@@ -209,7 +223,7 @@ TEST(Determinism, GladiatorSurfaceBitIdenticalAcrossThreads)
     const RoundCircuit rc(code);
     const CodeContext ctx(code, rc, CodeContext::default_scope(code));
 
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = base_config();
     cfg.np = NoiseParams::standard(1e-3, 0.1);
     cfg.rounds = 8;
     cfg.shots = 24;

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
 #include "codes/color_code.h"
 #include "codes/surface_code.h"
 #include "metrics_test_util.h"
@@ -49,6 +53,82 @@ TEST(SimBackends, NamesRoundTrip)
     for (SimBackend b : kBackends) {
         const auto sim = make_simulator(b, h.code, h.rc, noiseless(), 1);
         EXPECT_EQ(sim->name(), backend_name(b));
+    }
+}
+
+TEST(SimBackends, KnownBackendsCoverTheEnumAndTheNameList)
+{
+    const std::vector<SimBackend>& all = known_backends();
+    ASSERT_EQ(all.size(), 2u);
+    for (SimBackend b : kBackends)
+        EXPECT_NE(std::find(all.begin(), all.end(), b), all.end());
+    const std::string names = known_backend_names();
+    for (SimBackend b : all)
+        EXPECT_NE(names.find(backend_name(b)), std::string::npos)
+            << names;
+}
+
+TEST(SimBackends, UnknownNameErrorListsTheKnownBackends)
+{
+    // The unhelpful-failure-mode fix: a typo'd backend name must name the
+    // bad input AND every accepted name, wherever it enters the system.
+    try {
+        backend_from_name("stim");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("\"stim\""), std::string::npos) << what;
+        EXPECT_NE(what.find("known backends"), std::string::npos) << what;
+        for (SimBackend b : kBackends)
+            EXPECT_NE(what.find(backend_name(b)), std::string::npos)
+                << what;
+    }
+}
+
+TEST(SimBackends, BackendFromEnvNamesTheVariableOnBadValues)
+{
+    // Restore the caller's selection afterwards: CI runs whole test
+    // binaries under GLD_BACKEND=tableau, and clobbering the variable
+    // here would silently de-gate every later env-honouring test.
+    const char* prev_raw = std::getenv("GLD_BACKEND");
+    const std::string prev = prev_raw != nullptr ? prev_raw : "";
+
+    ASSERT_EQ(setenv("GLD_BACKEND", "no-such-engine", /*overwrite=*/1), 0);
+    try {
+        backend_from_env();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("GLD_BACKEND"), std::string::npos) << what;
+        EXPECT_NE(what.find("no-such-engine"), std::string::npos) << what;
+        EXPECT_NE(what.find("known backends"), std::string::npos) << what;
+    }
+    ASSERT_EQ(unsetenv("GLD_BACKEND"), 0);
+    EXPECT_EQ(backend_from_env(), SimBackend::kFrame);  // unset = default
+
+    if (prev_raw != nullptr) {
+        ASSERT_EQ(setenv("GLD_BACKEND", prev.c_str(), 1), 0);
+    }
+}
+
+TEST(SimBackends, CostFactorIsFrameNormalizedAndQuadraticForTableau)
+{
+    // The campaign planner's throughput model: frame is the unit; the
+    // tableau backend pays ~n^2/64 bit-plane words per measurement, never
+    // less than a frame shot.
+    for (int n : {1, 8, 17, 100, 1000})
+        EXPECT_DOUBLE_EQ(backend_cost_factor(SimBackend::kFrame, n), 1.0);
+    EXPECT_DOUBLE_EQ(backend_cost_factor(SimBackend::kTableau, 8), 1.0);
+    EXPECT_DOUBLE_EQ(backend_cost_factor(SimBackend::kTableau, 16), 4.0);
+    EXPECT_DOUBLE_EQ(backend_cost_factor(SimBackend::kTableau, 80), 100.0);
+    // Tiny codes floor at the frame cost rather than dipping below it.
+    EXPECT_DOUBLE_EQ(backend_cost_factor(SimBackend::kTableau, 2), 1.0);
+    // Monotone in code size past the floor.
+    double prev = 0.0;
+    for (int n : {8, 16, 32, 64, 128}) {
+        const double f = backend_cost_factor(SimBackend::kTableau, n);
+        EXPECT_GT(f, prev);
+        prev = f;
     }
 }
 

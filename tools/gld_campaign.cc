@@ -17,6 +17,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -168,10 +169,25 @@ cmd_plan(const Args& a)
     spec.validate();
     const std::vector<JobSpec> jobs = spec.expand();
 
-    std::printf("campaign \"%s\": %zu job(s), %d shard(s)\n\n",
-                spec.name.c_str(), jobs.size(), a.n_shards);
+    // Code size per distinct spec string, for the backend cost model:
+    // a tableau shot on an n-qubit code costs ~n^2/64 frame shots, so raw
+    // shot counts would misstate mixed-backend / mixed-code shard loads.
+    std::map<std::string, int> n_qubits_of;
+    for (const JobSpec& job : jobs) {
+        if (n_qubits_of.count(job.code) == 0)
+            n_qubits_of[job.code] =
+                campaign::make_code(job.code)->code.n_qubits();
+    }
+    const auto cost_of = [&](const JobSpec& job, long shots) {
+        return campaign::job_cost_units(job, n_qubits_of.at(job.code),
+                                        shots);
+    };
+
+    std::printf("campaign \"%s\" [%s backend]: %zu job(s), %d shard(s)\n\n",
+                spec.name.c_str(), backend_name(spec.backend), jobs.size(),
+                a.n_shards);
     TablePrinter t({"Job", "Code", "Policy", "p", "lr", "Shots", "Rounds",
-                    "Streams", "Seed"});
+                    "Streams", "Cost x", "Seed"});
     for (const JobSpec& job : jobs) {
         t.add_row({std::to_string(job.index), job.code, job.policy,
                    TablePrinter::sci(job.cfg.np.p, 1),
@@ -179,19 +195,28 @@ cmd_plan(const Args& a)
                    std::to_string(job.cfg.shots),
                    std::to_string(job.cfg.rounds),
                    std::to_string(ExperimentRunner::n_streams(job.cfg)),
+                   TablePrinter::fmt(backend_cost_factor(
+                                         job.cfg.backend,
+                                         n_qubits_of.at(job.code)),
+                                     1),
                    io::u64_to_hex(job.cfg.seed)});
     }
     t.print();
 
-    std::printf("\nper-shard load (streams x jobs):\n");
+    std::printf("\nper-shard load (cost unit: one frame-backend round of "
+                "one shot):\n");
     for (int shard = 0; shard < a.n_shards; ++shard) {
         long shots = 0;
+        double cost = 0.0;
         for (const JobSpec& job : jobs) {
+            long job_shots = 0;
             for (int s : ShardPlan::streams_for(job.cfg, shard, a.n_shards))
-                shots += ExperimentRunner::stream_shots(job.cfg, s);
+                job_shots += ExperimentRunner::stream_shots(job.cfg, s);
+            shots += job_shots;
+            cost += cost_of(job, job_shots);
         }
-        std::printf("  shard %d/%d: %ld shot(s)\n", shard, a.n_shards,
-                    shots);
+        std::printf("  shard %d/%d: %ld shot(s), %.0f cost unit(s)\n",
+                    shard, a.n_shards, shots, cost);
     }
     return 0;
 }
@@ -261,8 +286,15 @@ cmd_demo(const Args& a)
     spec.codes = {"surface:3"};
     spec.policies = {"eraser_m", "gladiator_m"};
     spec.noise = {NoiseParams::standard(1e-3, 0.1)};
+    // The demo is self-contained (it writes its own spec), so unlike
+    // run/merge/report — where an env override could silently relabel a
+    // spec's results — it may take the backend from GLD_BACKEND.  This is
+    // what lets CI gate the whole tier-1 suite on the non-default backend
+    // with one environment variable.
     if (!a.backend.empty())
         spec.backend = backend_from_name(a.backend);
+    else
+        spec.backend = backend_from_env();
 
     const int n_shards = 3;
     io::make_dirs(a.out_dir);

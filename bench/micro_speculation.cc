@@ -79,6 +79,35 @@ BM_SimulatorRound(benchmark::State& state)
 BENCHMARK(BM_SimulatorRound);
 
 void
+BM_BackendThroughput(benchmark::State& state)
+{
+    // Shots/second per simulation backend on a d=5 surface-code memory
+    // config — the honest measurement behind batch_frame's ~1/64 campaign
+    // cost factor.  Single-threaded so the ratio is the backend's, not
+    // the scheduler's.  Run with --benchmark_filter=BackendThroughput.
+    static CodeBundle bundle5(SurfaceCode::make(5));
+    const CodeBundle& b = bundle5;
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard();
+    cfg.rounds = 10;
+    cfg.shots = 1024;
+    cfg.rng_streams = 16;  // 64 shots per stream: full 64-lane batches
+    cfg.leakage_sampling = false;  // natural leakage, as a memory run
+    cfg.threads = 1;
+    cfg.backend = static_cast<SimBackend>(state.range(0));
+    const ExperimentRunner runner(b.ctx, cfg);
+    const PolicyFactory factory = PolicyZoo::no_lrc();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runner.run(factory));
+    state.SetItemsProcessed(state.iterations() * cfg.shots);
+    state.SetLabel(backend_name(cfg.backend));
+}
+BENCHMARK(BM_BackendThroughput)
+    ->Arg(static_cast<int>(SimBackend::kFrame))
+    ->Arg(static_cast<int>(SimBackend::kBatchFrame))
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_RunnerThreadScaling(benchmark::State& state)
 {
     // The chunked (stream x shot-block) scheduler's wall-clock vs thread

@@ -1,7 +1,9 @@
 #include "campaign/campaign.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <stdexcept>
 
 #include "campaign/registry.h"
@@ -174,6 +176,96 @@ ShardPlan::streams_for(const ExperimentConfig& cfg, int shard, int n_shards)
     return streams;
 }
 
+// --- CampaignPlan (greedy LPT over per-stream cost units). ---
+
+CampaignPlan
+CampaignPlan::build(
+    const CampaignSpec& spec, int n_shards,
+    std::map<std::string, std::shared_ptr<const CodeInstance>>* codes)
+{
+    ShardPlan::validate(0, n_shards);
+    const std::vector<JobSpec> jobs = spec.expand();
+
+    CampaignPlan plan;
+    plan.streams.assign(jobs.size(),
+                        std::vector<std::vector<int>>(
+                            static_cast<size_t>(n_shards)));
+    plan.shard_cost_units.assign(static_cast<size_t>(n_shards), 0.0);
+    plan.shard_shots.assign(static_cast<size_t>(n_shards), 0);
+    plan.job_qubits.assign(jobs.size(), 0);
+
+    // One code build per distinct spec string for the qubit counts; the
+    // instances are handed to the caller (when asked) rather than
+    // discarded, so run_shard's executed jobs reuse them.
+    std::map<std::string, std::shared_ptr<const CodeInstance>> built;
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        auto it = built.find(jobs[j].code);
+        if (it == built.end()) {
+            it = built
+                     .emplace(jobs[j].code,
+                              std::shared_ptr<const CodeInstance>(
+                                  make_code(jobs[j].code)))
+                     .first;
+        }
+        plan.job_qubits[j] = it->second->code.n_qubits();
+    }
+    if (codes != nullptr)
+        *codes = std::move(built);
+
+    // Work items: one per (job, stream), weighted by that stream's cost.
+    struct Item {
+        double cost;
+        long shots;
+        int job;
+        int stream;
+    };
+    std::vector<Item> items;
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        const ExperimentConfig& cfg = jobs[j].cfg;
+        const double factor =
+            backend_cost_factor(cfg.backend, plan.job_qubits[j]);
+        const int total = ExperimentRunner::n_streams(cfg);
+        for (int s = 0; s < total; ++s) {
+            const long shots = ExperimentRunner::stream_shots(cfg, s);
+            items.push_back({static_cast<double>(shots) *
+                                 static_cast<double>(cfg.rounds) * factor,
+                             shots, static_cast<int>(j), s});
+        }
+    }
+
+    // LPT: descending cost; (job, stream) ascending breaks cost ties so
+    // the order — and with it the whole plan — is a pure function of the
+    // spec.  Greedy target: the lightest shard, lowest index on ties.
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Item& a, const Item& b) {
+                         if (a.cost != b.cost)
+                             return a.cost > b.cost;
+                         if (a.job != b.job)
+                             return a.job < b.job;
+                         return a.stream < b.stream;
+                     });
+    for (const Item& item : items) {
+        int best = 0;
+        for (int sh = 1; sh < n_shards; ++sh) {
+            if (plan.shard_cost_units[static_cast<size_t>(sh)] <
+                plan.shard_cost_units[static_cast<size_t>(best)])
+                best = sh;
+        }
+        plan.streams[static_cast<size_t>(item.job)]
+                    [static_cast<size_t>(best)]
+                        .push_back(item.stream);
+        plan.shard_cost_units[static_cast<size_t>(best)] += item.cost;
+        plan.shard_shots[static_cast<size_t>(best)] += item.shots;
+    }
+    // Ascending stream ids per (job, shard): run_partials computes them
+    // in request order, and sorted requests keep result files tidy.
+    for (auto& per_job : plan.streams) {
+        for (auto& ss : per_job)
+            std::sort(ss.begin(), ss.end());
+    }
+    return plan;
+}
+
 // --- Result files. ---
 
 namespace {
@@ -211,7 +303,8 @@ namespace {
 /** True if `path` holds a completed, up-to-date shard result. */
 bool
 shard_result_valid(const std::string& path, const CampaignSpec& spec,
-                   const JobSpec& job, int shard, int n_shards)
+                   const JobSpec& job, int shard, int n_shards,
+                   const std::vector<int>& want_streams)
 {
     if (!io::file_exists(path))
         return false;
@@ -233,9 +326,18 @@ shard_result_valid(const std::string& path, const CampaignSpec& spec,
             return false;
         if (j["shard"].as_int() != shard || j["n_shards"].as_int() != n_shards)
             return false;
-        const size_t want =
-            ShardPlan::streams_for(job.cfg, shard, n_shards).size();
-        return j["streams"].size() == want;
+        // The expected stream set comes from the (deterministic) campaign
+        // plan: a file produced under a different plan — e.g. the old
+        // round-robin partition or a changed cost model — lists different
+        // stream ids and is recomputed.
+        const Json& jstreams = j["streams"];
+        if (jstreams.size() != want_streams.size())
+            return false;
+        for (size_t i = 0; i < jstreams.size(); ++i) {
+            if (jstreams.at(i)["stream"].as_int() != want_streams[i])
+                return false;
+        }
+        return true;
     } catch (const std::exception&) {
         return false;  // unreadable/garbled: recompute
     }
@@ -251,6 +353,12 @@ run_shard(const CampaignSpec& spec, int shard, int n_shards,
     ShardPlan::validate(shard, n_shards);
     io::make_dirs(out_dir);
     const std::vector<JobSpec> jobs = spec.expand();
+    // Cost-balanced stream->shard assignment, identical in every process
+    // that runs this (spec, n_shards) — see CampaignPlan.  The codes the
+    // plan built for its cost model are kept and shared below (they are
+    // immutable once built; concurrent jobs only read them).
+    std::map<std::string, std::shared_ptr<const CodeInstance>> codes;
+    const CampaignPlan plan = CampaignPlan::build(spec, n_shards, &codes);
     std::atomic<int> jobs_run{0};
     std::atomic<int> jobs_resumed{0};
 
@@ -266,9 +374,11 @@ run_shard(const CampaignSpec& spec, int shard, int n_shards,
                     : std::max(1, BenchConfig::threads() / pool_size);
 
     const auto run_one_job = [&](const JobSpec& job) {
+        const std::vector<int>& streams =
+            plan.streams_for(job.index, shard);
         const std::string path =
             shard_result_path(out_dir, spec, job.index, shard, n_shards);
-        if (shard_result_valid(path, spec, job, shard, n_shards)) {
+        if (shard_result_valid(path, spec, job, shard, n_shards, streams)) {
             jobs_resumed.fetch_add(1);
             if (verbose)
                 std::printf("  job %04d [%s / %s]: resume — result "
@@ -277,14 +387,14 @@ run_shard(const CampaignSpec& spec, int shard, int n_shards,
             return;
         }
 
-        const std::vector<int> streams =
-            ShardPlan::streams_for(job.cfg, shard, n_shards);
         std::vector<Metrics> parts;
         if (!streams.empty()) {
-            // Surplus shards (n_shards > stream count) own no streams of
-            // this job: still write the (empty) result file merge
-            // expects, but skip the code/graph construction.
-            std::unique_ptr<CodeInstance> code = make_code(job.code);
+            // Shards the plan assigned no streams of this job: still
+            // write the (empty) result file merge expects, but skip the
+            // graph construction.  The code instance is the plan's own
+            // build — never constructed twice per shard process.
+            const std::shared_ptr<const CodeInstance> code =
+                codes.at(job.code);
             ExperimentConfig cfg = job.cfg;
             cfg.threads = job_threads;
             const ExperimentRunner runner(code->ctx, cfg);

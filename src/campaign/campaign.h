@@ -2,9 +2,12 @@
 #define GLD_CAMPAIGN_CAMPAIGN_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "campaign/registry.h"
 #include "io/json.h"
 #include "noise/noise_model.h"
 #include "runtime/experiment.h"
@@ -102,6 +105,14 @@ double job_cost_units(const JobSpec& job, int n_qubits, long shots);
  * up to the stream count splits even a single-job campaign, and (b) the
  * merge is exactly run()'s stream-order sum, making shard-then-merge
  * bit-identical to a single-process run.
+ *
+ * This round-robin partition balances SHOTS per shard within one job but
+ * knows nothing about cost: a tableau d=7 job's stream costs ~n^2/64 x a
+ * frame stream, and batch_frame streams ~1/64 x.  Campaign-level
+ * scheduling (run_shard, resume validation, the plan command) therefore
+ * runs entirely on CampaignPlan (greedy LPT over cost units) below;
+ * streams_for is NOT on any production path anymore — it is kept as the
+ * executable record of the historical contract, pinned by its test.
  */
 struct ShardPlan {
     /** Throws std::runtime_error unless 0 <= shard < n_shards. */
@@ -110,6 +121,53 @@ struct ShardPlan {
     /** Ascending stream ids of `cfg` owned by `shard`. */
     static std::vector<int> streams_for(const ExperimentConfig& cfg,
                                         int shard, int n_shards);
+};
+
+/**
+ * Cost-balanced campaign shard plan (ROADMAP "backend-aware campaign
+ * planning", stage 2): every (job, RNG stream) work item is weighted by
+ * its cost units — stream_shots x rounds x backend_cost_factor — and
+ * assigned to a shard by greedy LPT (longest-processing-time: items in
+ * descending cost, each to the currently lightest shard).  Deterministic
+ * for a given (spec, n_shards): items sort with (cost desc, job asc,
+ * stream asc) tie-breaks and ties between shards go to the lowest index,
+ * so every process computes the identical plan — run_shard and the plan
+ * command agree without communicating.
+ *
+ * The merge contract is unchanged: merge_campaign collects streams by id
+ * from whatever shard file holds them, and each stream's Metrics partial
+ * is independent of which shard ran it, so shard-then-merge stays
+ * bit-identical to a single-process run under ANY assignment.
+ */
+struct CampaignPlan {
+    /** streams[job][shard] = ascending stream ids owned by that shard. */
+    std::vector<std::vector<std::vector<int>>> streams;
+    /** Total assigned cost units per shard. */
+    std::vector<double> shard_cost_units;
+    /** Total assigned shots per shard. */
+    std::vector<long> shard_shots;
+    /** n_qubits per job (the cost-model input, cached per code spec). */
+    std::vector<int> job_qubits;
+
+    /** Ascending stream ids of job `job_index` owned by `shard`. */
+    const std::vector<int>& streams_for(int job_index, int shard) const
+    {
+        return streams[static_cast<size_t>(job_index)]
+                      [static_cast<size_t>(shard)];
+    }
+
+    /**
+     * Builds the deterministic LPT plan; throws on invalid specs/shard
+     * counts.  The cost model needs each distinct code's qubit count, so
+     * each is constructed exactly once; pass `codes` to receive those
+     * instances (keyed by spec string) instead of discarding them —
+     * run_shard reuses them so an executed job never constructs its code
+     * a second time.
+     */
+    static CampaignPlan build(
+        const CampaignSpec& spec, int n_shards,
+        std::map<std::string, std::shared_ptr<const CodeInstance>>* codes =
+            nullptr);
 };
 
 /** `<out_dir>/<name>.job####.shard<i>of<N>.json` */

@@ -32,10 +32,21 @@ class Policy {
                          LrcSchedule* out) = 0;
 
     /**
-     * Gives oracle policies read access to the simulator's ground truth
-     * (any backend behind the Simulator interface).  Default: ignored.
+     * Gives oracle policies read access to a ground-truth leak oracle.
+     * Default: ignored.  The batch scheduler path calls this directly
+     * with a per-lane oracle view — every lane's policy sees only its
+     * own shot's truth.
      */
-    virtual void set_oracle(const Simulator* /*sim*/) {}
+    virtual void set_leak_oracle(const LeakageOracle* /*oracle*/) {}
+
+    /**
+     * Convenience overload for the scalar path: forwards the simulator's
+     * ground-truth oracle (any backend behind the Simulator interface).
+     */
+    void set_oracle(const Simulator* sim)
+    {
+        set_leak_oracle(sim != nullptr ? &sim->leak_oracle() : nullptr);
+    }
 };
 
 /**
@@ -46,9 +57,9 @@ class IdealPolicy : public Policy {
   public:
     explicit IdealPolicy(const CodeContext& ctx) : ctx_(&ctx) {}
     std::string name() const override { return "IDEAL"; }
-    void set_oracle(const Simulator* sim) override
+    void set_leak_oracle(const LeakageOracle* oracle) override
     {
-        oracle_ = sim != nullptr ? &sim->leak_oracle() : nullptr;
+        oracle_ = oracle;
     }
     void observe(int round, const RoundResult& rr,
                  LrcSchedule* out) override;

@@ -2,6 +2,7 @@
 #define GLD_HW_TIMING_MODEL_H_
 
 #include "circuit/round_circuit.h"
+#include "sim/op_profile.h"
 
 namespace gld {
 
@@ -44,6 +45,23 @@ class TimingModel {
     /** Relative execution-depth increase vs an LRC-free round (§7.5). */
     double depth_increase(const RoundCircuit& rc,
                           double lrcs_per_round_per_qubit) const;
+
+    /**
+     * Total serial gate time of a counted primitive stream (the
+     * driver-level op profile, sim/op_profile.h): CNOTs and Hadamards at
+     * their gate latencies, measurements at the measurement/reset window
+     * (single-qubit resets ride inside that window, and Pauli updates
+     * are software frame bookkeeping — both 0 ns).  Where base_round_ns
+     * models the SCHEDULED round's critical path, this models total gate
+     * WORK, so profile-driven what-if analyses (an LRC-heavy schedule, a
+     * different code) stay consistent with one latency table.
+     */
+    double profile_gate_ns(const OpCounts& counts) const
+    {
+        return static_cast<double>(counts.cnots) * tp_.t_cnot_ns +
+               static_cast<double>(counts.hadamards) * tp_.t_h_ns +
+               static_cast<double>(counts.measures) * tp_.t_meas_reset_ns;
+    }
 
     const TimingParams& params() const { return tp_; }
 

@@ -40,8 +40,16 @@ namespace io {
  *    same config differ from version-2 binaries.  The hash covers
  *    gld_version, so pre-driver checkpoints are refused as stale
  *    instead of being silently mixed with new-partial streams.
+ *  - 4: no field changes; bumped for the batch-backend refactor's two
+ *    deliberate draw-sequence deltas: the LeakageDriver now derives an
+ *    independent noise stream per SHOT (master.split(shot) at every
+ *    reset_shot — what lets the bit-packed batch driver replay shot k
+ *    as lane k), and the scheduler's shot block grew from 32 to 64 to
+ *    align with the 64-lane batch width.  Same-config results differ
+ *    from version-3 binaries on every backend, so pre-batch campaign
+ *    checkpoints are refused as stale via the hashed version.
  */
-constexpr int kSerializeVersion = 3;
+constexpr int kSerializeVersion = 4;
 
 /** IEEE-754 binary64 → "0x<16 hex digits>" (bit_cast, exact). */
 std::string f64_to_hex(double v);

@@ -10,6 +10,7 @@
 #include "core/policy_gladiator.h"
 #include "core/policy_static.h"
 #include "decode/dem_builder.h"
+#include "sim/batch_driver.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -54,8 +55,16 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
     std::unique_ptr<Simulator> sim =
         make_simulator(cfg_.backend, code, ctx_->rc(), cfg_.np,
                        block_master.split(0).next_u64());
-    std::unique_ptr<Policy> policy =
-        factory(*ctx_, block_master.split(2).next_u64());
+    const uint64_t policy_seed = block_master.split(2).next_u64();
+
+    // A batch-capable backend takes the whole block as one lockstep shot
+    // batch (lane k == the scalar path's k-th shot of this block, same
+    // derived RNG streams — the Metrics come out bit-identical).
+    if (auto* bsim = dynamic_cast<BatchSimulator*>(sim.get()))
+        return run_block_batch(*bsim, factory, policy_seed, shot_rng, shots,
+                               graph);
+
+    std::unique_ptr<Policy> policy = factory(*ctx_, policy_seed);
     policy->set_oracle(sim.get());
     // Ground truth for the speculation accounting below: the shared
     // LeakageDriver's flag state, read through the one oracle interface
@@ -144,6 +153,192 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
             ++m.decoded_shots;
         }
         ++m.shots;
+    }
+    return m;
+}
+
+Metrics
+ExperimentRunner::run_block_batch(BatchSimulator& sim,
+                                  const PolicyFactory& factory,
+                                  uint64_t policy_seed, Rng shot_rng,
+                                  int shots,
+                                  const DecodingGraph* graph) const
+{
+    const CssCode& code = ctx_->code();
+    const int n_data = code.n_data();
+    const int n_checks = code.n_checks();
+    const int width = sim.batch_width();
+    const int max_lanes = std::min(width, shots);
+    const int rounds = cfg_.rounds;
+
+    Metrics m;
+    m.rounds_per_shot = rounds;
+    if (cfg_.record_dlp_series)
+        m.dlp_series.assign(static_cast<size_t>(rounds), 0.0);
+
+    // One policy per lane, all built from the block's one policy seed
+    // (exactly the seed the scalar path hands its single policy — current
+    // policies derive no randomness from it, and per-shot behaviour is
+    // reset by begin_shot, so lane k's policy replays the scalar policy's
+    // k-th shot).  Each lane's oracle view shows only that lane's truth.
+    std::vector<std::unique_ptr<Policy>> policies;
+    policies.reserve(static_cast<size_t>(max_lanes));
+    for (int l = 0; l < max_lanes; ++l) {
+        policies.push_back(factory(*ctx_, policy_seed));
+        policies.back()->set_leak_oracle(&sim.lane_oracle(l));
+    }
+
+    std::unique_ptr<UnionFindDecoder> decoder;
+    std::vector<int> z_checks;
+    if (graph != nullptr) {
+        decoder = std::make_unique<UnionFindDecoder>(*graph);
+        z_checks = code.checks_of_type(CheckType::kZ);
+    }
+    const int nz = static_cast<int>(z_checks.size());
+
+    std::vector<LrcSchedule> scheds(static_cast<size_t>(max_lanes));
+    std::vector<RoundResult> rr;
+    std::vector<std::vector<uint8_t>> flips;
+    // Word-wide accounting scratch: which lanes scheduled an LRC on each
+    // data qubit this round (the FN check is then one popcount per
+    // qubit), and per-lane leak counts gathered by one sparse pass over
+    // the leak words instead of 64 oracle walks.
+    std::vector<LaneMask> sched_word(static_cast<size_t>(n_data), 0);
+    std::vector<int> data_leaked(static_cast<size_t>(max_lanes), 0);
+    std::vector<int> check_leaked(static_cast<size_t>(max_lanes), 0);
+    // Float accumulators are buffered per (lane, round) and replayed
+    // shot-major below: double addition is order-sensitive, and the gate
+    // vs the scalar backend is BIT-exact equality, not approximation.
+    std::vector<std::vector<double>> dlp_buf(
+        static_cast<size_t>(max_lanes),
+        std::vector<double>(static_cast<size_t>(rounds), 0.0));
+    std::vector<std::vector<double>> chk_buf = dlp_buf;
+    std::vector<std::vector<uint8_t>> syndrome(
+        static_cast<size_t>(max_lanes));
+
+    for (int first = 0; first < shots; first += width) {
+        const int lanes = std::min(width, shots - first);
+        const LaneMask lanes_mask =
+            lanes >= 64 ? ~0ull : (1ull << lanes) - 1;
+        sim.reset_shot_batch(lanes);
+        for (int l = 0; l < lanes; ++l) {
+            const size_t li = static_cast<size_t>(l);
+            policies[li]->begin_shot();
+            scheds[li].clear();
+            // Same per-shot draw the scalar path makes, in lane (= shot)
+            // order, from the same block-level stream.
+            if (cfg_.leakage_sampling)
+                sim.inject_data_leak_lane(
+                    l, static_cast<int>(shot_rng.uniform_int(
+                           static_cast<uint32_t>(n_data))));
+            if (graph != nullptr)
+                syndrome[li].assign(
+                    static_cast<size_t>(rounds + 1) * static_cast<size_t>(nz),
+                    0);
+        }
+
+        for (int r = 0; r < rounds; ++r) {
+            // Account the LRCs about to be applied against each lane's
+            // ground truth (integer-valued adds: order-insensitive).
+            const LaneMask* leak_words = sim.leaked_words();
+            for (int l = 0; l < lanes; ++l) {
+                const size_t li = static_cast<size_t>(l);
+                for (int q : scheds[li].data_qubits) {
+                    if ((leak_words[q] >> l) & 1u)
+                        m.tp_total += 1;
+                    else
+                        m.fp_total += 1;
+                }
+                m.lrc_data_total +=
+                    static_cast<double>(scheds[li].data_qubits.size());
+                m.lrc_check_total +=
+                    static_cast<double>(scheds[li].checks.size());
+            }
+
+            sim.run_round_batch(scheds, &rr);
+
+            for (int l = 0; l < lanes; ++l)
+                policies[static_cast<size_t>(l)]->observe(
+                    r, rr[static_cast<size_t>(l)],
+                    &scheds[static_cast<size_t>(l)]);
+
+            // False negatives + leak populations, word-wide: one pass
+            // over the leak words replaces 64 per-lane oracle walks.
+            std::fill(sched_word.begin(), sched_word.end(), 0);
+            for (int l = 0; l < lanes; ++l) {
+                for (int q : scheds[static_cast<size_t>(l)].data_qubits)
+                    sched_word[static_cast<size_t>(q)] |=
+                        1ull << static_cast<unsigned>(l);
+            }
+            std::fill(data_leaked.begin(), data_leaked.end(), 0);
+            std::fill(check_leaked.begin(), check_leaked.end(), 0);
+            for (int q = 0; q < n_data; ++q) {
+                const LaneMask lk = leak_words[q] & lanes_mask;
+                m.fn_total += static_cast<double>(__builtin_popcountll(
+                    lk & ~sched_word[static_cast<size_t>(q)]));
+                for_each_lane(lk, [&](int l) {
+                    ++data_leaked[static_cast<size_t>(l)];
+                });
+            }
+            for (int c = 0; c < n_checks; ++c) {
+                const LaneMask lk =
+                    leak_words[code.ancilla_of(c)] & lanes_mask;
+                for_each_lane(lk, [&](int l) {
+                    ++check_leaked[static_cast<size_t>(l)];
+                });
+            }
+            for (int l = 0; l < lanes; ++l) {
+                const size_t li = static_cast<size_t>(l);
+                dlp_buf[li][static_cast<size_t>(r)] =
+                    static_cast<double>(data_leaked[li]) / n_data;
+                chk_buf[li][static_cast<size_t>(r)] =
+                    static_cast<double>(check_leaked[li]) / n_checks;
+                if (graph != nullptr) {
+                    for (int zi = 0; zi < nz; ++zi) {
+                        syndrome[li][static_cast<size_t>(r) *
+                                         static_cast<size_t>(nz) +
+                                     static_cast<size_t>(zi)] =
+                            rr[li].detector[static_cast<size_t>(
+                                z_checks[static_cast<size_t>(zi)])];
+                    }
+                }
+            }
+        }
+
+        if (graph != nullptr)
+            sim.final_data_measure_batch(&flips);
+
+        // Shot-major replay of the per-shot tail: the float sums in the
+        // scalar accumulation order, then decode + shot counters.
+        for (int l = 0; l < lanes; ++l) {
+            const size_t li = static_cast<size_t>(l);
+            for (int r = 0; r < rounds; ++r) {
+                const double dlp = dlp_buf[li][static_cast<size_t>(r)];
+                m.dlp_total += dlp;
+                if (cfg_.record_dlp_series)
+                    m.dlp_series[static_cast<size_t>(r)] += dlp;
+                m.check_leak_total += chk_buf[li][static_cast<size_t>(r)];
+            }
+            if (graph != nullptr) {
+                for (int zi = 0; zi < nz; ++zi) {
+                    const int zc = z_checks[static_cast<size_t>(zi)];
+                    uint8_t det = rr[li].meas_flip[static_cast<size_t>(zc)];
+                    for (int q : code.check(zc).support)
+                        det ^= flips[li][static_cast<size_t>(q)];
+                    syndrome[li][static_cast<size_t>(rounds) *
+                                     static_cast<size_t>(nz) +
+                                 static_cast<size_t>(zi)] = det;
+                }
+                uint8_t observed = 0;
+                for (int q : code.logical_z())
+                    observed ^= flips[li][static_cast<size_t>(q)];
+                const bool predicted = decoder->decode(syndrome[li]);
+                if ((observed != 0) != predicted)
+                    ++m.logical_errors;
+                ++m.decoded_shots;
+            }
+            ++m.shots;
+        }
     }
     return m;
 }

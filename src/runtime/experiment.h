@@ -11,6 +11,7 @@
 #include "noise/noise_model.h"
 #include "runtime/metrics.h"
 #include "sim/simulator.h"
+#include "util/rng.h"
 
 namespace gld {
 
@@ -94,8 +95,11 @@ class ExperimentRunner {
      * from its own RNG streams derived from (seed, stream, block), so the
      * result is independent of which thread runs which unit, but changing
      * the block size (like changing rng_streams) changes the draws.
+     * Aligned with the bit-packed batch width (sim/batch_driver.h): a
+     * batch-capable backend runs a whole block as one lockstep batch, a
+     * partial final block as a batch with the trailing lanes masked off.
      */
-    static constexpr int kShotBlock = 32;
+    static constexpr int kShotBlock = 64;
 
     /** Number of shot blocks of `stream` (ceil(stream_shots/kShotBlock)). */
     static int stream_blocks(const ExperimentConfig& cfg, int stream);
@@ -113,6 +117,10 @@ class ExperimentRunner {
   private:
     Metrics run_block(const PolicyFactory& factory, int stream, int block,
                       const DecodingGraph* graph) const;
+    Metrics run_block_batch(class BatchSimulator& sim,
+                            const PolicyFactory& factory,
+                            uint64_t policy_seed, Rng shot_rng, int shots,
+                            const DecodingGraph* graph) const;
 
     const CodeContext* ctx_;
     ExperimentConfig cfg_;

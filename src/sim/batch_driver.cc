@@ -1,0 +1,924 @@
+#include "sim/batch_driver.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define GLD_BATCH_SIMD_KERNELS 1
+#include <immintrin.h>
+#endif
+
+// Function multiversioning for the word-wide hot paths: one portable
+// binary, with AVX2/AVX-512 clones selected once at load time (glibc
+// ifunc) where the CPU has them.  The lane-RNG step is pure 64-bit
+// shift/add/xor, which widens perfectly — the clones only change
+// shots/second, never results.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_ADDRESS__)
+#define GLD_BATCH_HOT \
+    __attribute__((target_clones("arch=x86-64-v4", "avx2", "default")))
+#else
+#define GLD_BATCH_HOT
+#endif
+
+namespace gld {
+
+namespace {
+
+/** Spreads the low 8 bits of x to eight 0/1 bytes (byte k = bit k). */
+inline uint64_t
+spread_bits_to_bytes(uint64_t x)
+{
+    // Place bit k at bit 8k+k, add (0x80 - 2^k) per byte (no cross-byte
+    // carry: each byte holds at most 2^k + (0x80 - 2^k) = 0x80), then
+    // extract the per-byte 0x80 flag.
+    const uint64_t placed =
+        ((x & 0xFFu) * 0x0101010101010101ull) & 0x8040201008040201ull;
+    return (((placed + 0x00406070787C7E7Full) >> 7) &
+            0x0101010101010101ull);
+}
+
+/** Transposes an 8x8 byte matrix held as 8 row words: final row i's
+ *  byte j = original row j's byte i. */
+inline void
+transpose8x8_bytes(uint64_t t[8])
+{
+    for (int j = 0; j < 8; j += 2) {
+        const uint64_t a = t[j], b = t[j + 1];
+        t[j] = (a & 0x00FF00FF00FF00FFull) |
+               ((b & 0x00FF00FF00FF00FFull) << 8);
+        t[j + 1] = ((a >> 8) & 0x00FF00FF00FF00FFull) |
+                   (b & 0xFF00FF00FF00FF00ull);
+    }
+    for (int j : {0, 1, 4, 5}) {
+        const uint64_t a = t[j], b = t[j + 2];
+        t[j] = (a & 0x0000FFFF0000FFFFull) |
+               ((b & 0x0000FFFF0000FFFFull) << 16);
+        t[j + 2] = ((a >> 16) & 0x0000FFFF0000FFFFull) |
+                   (b & 0xFFFF0000FFFF0000ull);
+    }
+    for (int j = 0; j < 4; ++j) {
+        const uint64_t a = t[j], b = t[j + 4];
+        t[j] = (a & 0x00000000FFFFFFFFull) | (b << 32);
+        t[j + 4] = (a >> 32) | (b & 0xFFFFFFFF00000000ull);
+    }
+}
+
+// --- CPU-dispatched site kernels. ---
+//
+// One Bernoulli site = every lane of [0, n) advances its xoshiro stream
+// once and compares the 53-bit draw against a threshold; the kernels
+// return the fired lanes PACKED as a LaneMask (callers mask off padding
+// lanes).  The AVX-512 path gets the packed mask for free from
+// compare-to-mask; AVX2 uses sign-bit movemask; the portable fallback is
+// the LaneRngBank scalar loop.  Resolved once per process — identical
+// results on every path, only shots/second differ.
+
+struct SiteKernels {
+    LaneMask (*one)(LaneRngBank&, int, uint64_t);
+    void (*two)(LaneRngBank&, int, uint64_t, uint64_t, LaneMask*,
+                LaneMask*);
+    void (*three)(LaneRngBank&, int, uint64_t, uint64_t, uint64_t,
+                  LaneMask*, LaneMask*, LaneMask*);
+};
+
+LaneMask
+site1_scalar(LaneRngBank& bank, int n, uint64_t t)
+{
+    uint64_t bits[kBatchLanes];
+    bank.step_compare_all(n, t, bits);
+    LaneMask m = 0;
+    for (int l = 0; l < n; ++l)
+        m |= bits[l] << l;
+    return m;
+}
+
+void
+site2_scalar(LaneRngBank& bank, int n, uint64_t t1, uint64_t t2,
+             LaneMask* f1, LaneMask* f2)
+{
+    uint64_t b1[kBatchLanes], b2[kBatchLanes], a1, a2;
+    bank.step_compare2(n, t1, t2, b1, b2, &a1, &a2);
+    LaneMask m1 = 0, m2 = 0;
+    for (int l = 0; l < n; ++l) {
+        m1 |= b1[l] << l;
+        m2 |= b2[l] << l;
+    }
+    *f1 = m1;
+    *f2 = m2;
+}
+
+void
+site3_scalar(LaneRngBank& bank, int n, uint64_t t1, uint64_t t2,
+             uint64_t t3, LaneMask* f1, LaneMask* f2, LaneMask* f3)
+{
+    uint64_t b1[kBatchLanes], b2[kBatchLanes], b3[kBatchLanes], a1, a2, a3;
+    bank.step_compare3(n, t1, t2, t3, b1, b2, b3, &a1, &a2, &a3);
+    LaneMask m1 = 0, m2 = 0, m3 = 0;
+    for (int l = 0; l < n; ++l) {
+        m1 |= b1[l] << l;
+        m2 |= b2[l] << l;
+        m3 |= b3[l] << l;
+    }
+    *f1 = m1;
+    *f2 = m2;
+    *f3 = m3;
+}
+
+#if GLD_BATCH_SIMD_KERNELS
+
+// GCC's avx512 intrinsic headers trip -Wmaybe-uninitialized false
+// positives (the masked-op pass-through operand) at -O3; the kernels
+// below never use masked pass-through forms.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+// K consecutive draw-and-compare steps per lane group, state resident in
+// registers across the K sites.  Padding lanes of a partial final group
+// advance garbage (reseeded next batch) and their fire bits are masked
+// off by the caller.
+
+template <int K>
+__attribute__((target("avx512f"), always_inline)) inline void
+sites_avx512(LaneRngBank& bank, int n, const uint64_t* t, LaneMask* f)
+{
+    LaneMask acc[K] = {};
+    __m512i T[K];
+    for (int k = 0; k < K; ++k)
+        T[k] = _mm512_set1_epi64(static_cast<long long>(t[k]));
+    const int groups = (n + 7) / 8;
+    for (int i = 0; i < groups; ++i) {
+        __m512i s0 = _mm512_load_si512(bank.raw_s0() + 8 * i);
+        __m512i s1 = _mm512_load_si512(bank.raw_s1() + 8 * i);
+        __m512i s2 = _mm512_load_si512(bank.raw_s2() + 8 * i);
+        __m512i s3 = _mm512_load_si512(bank.raw_s3() + 8 * i);
+        for (int k = 0; k < K; ++k) {
+            const __m512i m5 =
+                _mm512_add_epi64(s1, _mm512_slli_epi64(s1, 2));
+            const __m512i r7 = _mm512_rol_epi64(m5, 7);
+            const __m512i r =
+                _mm512_add_epi64(r7, _mm512_slli_epi64(r7, 3));
+            const __m512i t17 = _mm512_slli_epi64(s1, 17);
+            s2 = _mm512_xor_si512(s2, s0);
+            s3 = _mm512_xor_si512(s3, s1);
+            s1 = _mm512_xor_si512(s1, s2);
+            s0 = _mm512_xor_si512(s0, s3);
+            s2 = _mm512_xor_si512(s2, t17);
+            s3 = _mm512_rol_epi64(s3, 45);
+            const __mmask8 hit = _mm512_cmplt_epu64_mask(
+                _mm512_srli_epi64(r, 11), T[k]);
+            acc[k] |= static_cast<LaneMask>(hit) << (8 * i);
+        }
+        _mm512_store_si512(bank.raw_s0() + 8 * i, s0);
+        _mm512_store_si512(bank.raw_s1() + 8 * i, s1);
+        _mm512_store_si512(bank.raw_s2() + 8 * i, s2);
+        _mm512_store_si512(bank.raw_s3() + 8 * i, s3);
+    }
+    for (int k = 0; k < K; ++k)
+        f[k] = acc[k];
+}
+
+__attribute__((target("avx512f"))) LaneMask
+site1_avx512(LaneRngBank& bank, int n, uint64_t t)
+{
+    LaneMask f;
+    sites_avx512<1>(bank, n, &t, &f);
+    return f;
+}
+
+__attribute__((target("avx512f"))) void
+site2_avx512(LaneRngBank& bank, int n, uint64_t t1, uint64_t t2,
+             LaneMask* f1, LaneMask* f2)
+{
+    const uint64_t t[2] = {t1, t2};
+    LaneMask f[2];
+    sites_avx512<2>(bank, n, t, f);
+    *f1 = f[0];
+    *f2 = f[1];
+}
+
+__attribute__((target("avx512f"))) void
+site3_avx512(LaneRngBank& bank, int n, uint64_t t1, uint64_t t2,
+             uint64_t t3, LaneMask* f1, LaneMask* f2, LaneMask* f3)
+{
+    const uint64_t t[3] = {t1, t2, t3};
+    LaneMask f[3];
+    sites_avx512<3>(bank, n, t, f);
+    *f1 = f[0];
+    *f2 = f[1];
+    *f3 = f[2];
+}
+
+template <int K>
+__attribute__((target("avx2"), always_inline)) inline void
+sites_avx2(LaneRngBank& bank, int n, const uint64_t* t, LaneMask* f)
+{
+    LaneMask acc[K] = {};
+    __m256i T[K];
+    for (int k = 0; k < K; ++k)
+        T[k] = _mm256_set1_epi64x(static_cast<long long>(t[k]));
+#define GLD_ROL256(x, s) \
+    _mm256_or_si256(_mm256_slli_epi64((x), (s)), \
+                    _mm256_srli_epi64((x), 64 - (s)))
+    const int groups = (n + 3) / 4;
+    for (int i = 0; i < groups; ++i) {
+        __m256i s0 = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(bank.raw_s0() + 4 * i));
+        __m256i s1 = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(bank.raw_s1() + 4 * i));
+        __m256i s2 = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(bank.raw_s2() + 4 * i));
+        __m256i s3 = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(bank.raw_s3() + 4 * i));
+        for (int k = 0; k < K; ++k) {
+            const __m256i m5 =
+                _mm256_add_epi64(s1, _mm256_slli_epi64(s1, 2));
+            const __m256i r7 = GLD_ROL256(m5, 7);
+            const __m256i r =
+                _mm256_add_epi64(r7, _mm256_slli_epi64(r7, 3));
+            const __m256i t17 = _mm256_slli_epi64(s1, 17);
+            s2 = _mm256_xor_si256(s2, s0);
+            s3 = _mm256_xor_si256(s3, s1);
+            s1 = _mm256_xor_si256(s1, s2);
+            s0 = _mm256_xor_si256(s0, s3);
+            s2 = _mm256_xor_si256(s2, t17);
+            s3 = GLD_ROL256(s3, 45);
+            // Both operands < 2^53, so the unsigned compare is a signed
+            // subtraction's sign bit — movemask-able.
+            const __m256i diff =
+                _mm256_sub_epi64(_mm256_srli_epi64(r, 11), T[k]);
+            const int hit = _mm256_movemask_pd(_mm256_castsi256_pd(diff));
+            acc[k] |= static_cast<LaneMask>(static_cast<unsigned>(hit))
+                      << (4 * i);
+        }
+        _mm256_store_si256(
+            reinterpret_cast<__m256i*>(bank.raw_s0() + 4 * i), s0);
+        _mm256_store_si256(
+            reinterpret_cast<__m256i*>(bank.raw_s1() + 4 * i), s1);
+        _mm256_store_si256(
+            reinterpret_cast<__m256i*>(bank.raw_s2() + 4 * i), s2);
+        _mm256_store_si256(
+            reinterpret_cast<__m256i*>(bank.raw_s3() + 4 * i), s3);
+    }
+    for (int k = 0; k < K; ++k)
+        f[k] = acc[k];
+#undef GLD_ROL256
+}
+
+__attribute__((target("avx2"))) LaneMask
+site1_avx2(LaneRngBank& bank, int n, uint64_t t)
+{
+    LaneMask f;
+    sites_avx2<1>(bank, n, &t, &f);
+    return f;
+}
+
+__attribute__((target("avx2"))) void
+site2_avx2(LaneRngBank& bank, int n, uint64_t t1, uint64_t t2,
+           LaneMask* f1, LaneMask* f2)
+{
+    const uint64_t t[2] = {t1, t2};
+    LaneMask f[2];
+    sites_avx2<2>(bank, n, t, f);
+    *f1 = f[0];
+    *f2 = f[1];
+}
+
+__attribute__((target("avx2"))) void
+site3_avx2(LaneRngBank& bank, int n, uint64_t t1, uint64_t t2, uint64_t t3,
+           LaneMask* f1, LaneMask* f2, LaneMask* f3)
+{
+    const uint64_t t[3] = {t1, t2, t3};
+    LaneMask f[3];
+    sites_avx2<3>(bank, n, t, f);
+    *f1 = f[0];
+    *f2 = f[1];
+    *f3 = f[2];
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // GLD_BATCH_SIMD_KERNELS
+
+const SiteKernels&
+site_kernels()
+{
+    static const SiteKernels k = [] {
+#if GLD_BATCH_SIMD_KERNELS
+        if (__builtin_cpu_supports("avx512f"))
+            return SiteKernels{site1_avx512, site2_avx512, site3_avx512};
+        if (__builtin_cpu_supports("avx2"))
+            return SiteKernels{site1_avx2, site2_avx2, site3_avx2};
+#endif
+        return SiteKernels{site1_scalar, site2_scalar, site3_scalar};
+    }();
+    return k;
+}
+
+}  // namespace
+
+// Every decision site below mirrors sim/leakage_driver.cc (the scalar
+// reference implementation) statement for statement: the scalar control
+// flow runs per lane, draws come from that lane's stream in the scalar
+// within-shot order, and only the state mutation and the draw mechanics
+// are batched — word-wide masked primitives, and one vectorizable
+// LaneRngBank pass per Bernoulli site instead of 64 Rng calls.  When
+// editing, keep the two files side by side — the tier-1 frame/batch_frame
+// bit-equality gate fails on any divergence.
+
+BatchLeakageDriver::BatchLeakageDriver(const CssCode& code,
+                                       const RoundCircuit& rc,
+                                       const NoiseParams& np, Rng master,
+                                       BatchStatePrimitives* state)
+    : code_(&code), rc_(&rc), np_(np), rate_p_(np.p), rate_pl_(np.pl()),
+      rate_mlr_(np.mlr_err()), master_rng_(master), state_(state)
+{
+    const size_t nq = static_cast<size_t>(code.n_qubits());
+    leaked_.assign(nq, 0);
+    prev_meas_.assign(static_cast<size_t>(code.n_checks()), 0);
+    meas_flip_.assign(static_cast<size_t>(code.n_checks()), 0);
+    mlr_flag_.assign(static_cast<size_t>(code.n_checks()), 0);
+    det_scratch_.assign(static_cast<size_t>(code.n_checks()), 0);
+    // Same fixed LRC partner per data qubit as the scalar driver.
+    lrc_partner_.assign(static_cast<size_t>(code.n_data()), -1);
+    for (int q = 0; q < code.n_data(); ++q) {
+        if (!code.data_adjacency()[q].empty())
+            lrc_partner_[static_cast<size_t>(q)] =
+                code.data_adjacency()[q].front();
+    }
+    lane_oracles_.resize(static_cast<size_t>(kBatchLanes));
+    for (int l = 0; l < kBatchLanes; ++l)
+        lane_oracles_[static_cast<size_t>(l)].bind(this, l);
+    // Like the scalar driver, shot 0's stream is live from construction
+    // (one active lane) so primitive-level probing before any reset works.
+    for (int l = 0; l < kBatchLanes; ++l)
+        lane_rng_.seed_lane(l, master_rng_.split(0));
+    active_ = 1;
+    n_lanes_ = 1;
+}
+
+void
+BatchLeakageDriver::reset_shot_batch(int n_lanes)
+{
+    if (n_lanes < 1 || n_lanes > kBatchLanes)
+        throw std::invalid_argument(
+            "reset_shot_batch: n_lanes " + std::to_string(n_lanes) +
+            " outside [1, " + std::to_string(kBatchLanes) + "]");
+    std::fill(leaked_.begin(), leaked_.end(), 0);
+    std::fill(prev_meas_.begin(), prev_meas_.end(), 0);
+    first_round_ = true;
+    n_lanes_ = n_lanes;
+    active_ = n_lanes == kBatchLanes ? ~0ull : (1ull << n_lanes) - 1;
+    // Lane l replays exactly the scalar driver's (shots_started_ + l)-th
+    // shot: same master, same split id, same draw order.
+    for (int l = 0; l < n_lanes; ++l)
+        lane_rng_.seed_lane(
+            l, master_rng_.split(shots_started_ + static_cast<uint64_t>(l)));
+    shots_started_ += static_cast<uint64_t>(n_lanes);
+    state_->reset_state();
+}
+
+void
+BatchLeakageDriver::set_leak(int q, LaneMask lanes)
+{
+    const LaneMask rise = lanes & ~leaked_[static_cast<size_t>(q)];
+    if (rise == 0)
+        return;
+    leaked_[static_cast<size_t>(q)] |= rise;
+    state_->park_leaked(q, rise);
+}
+
+int
+BatchLeakageDriver::n_data_leaked(int lane) const
+{
+    int n = 0;
+    for (int q = 0; q < code_->n_data(); ++q)
+        n += static_cast<int>((leaked_[static_cast<size_t>(q)] >> lane) & 1u);
+    return n;
+}
+
+int
+BatchLeakageDriver::n_check_leaked(int lane) const
+{
+    int n = 0;
+    for (int c = 0; c < code_->n_checks(); ++c) {
+        const size_t anc = static_cast<size_t>(code_->ancilla_of(c));
+        n += static_cast<int>((leaked_[anc] >> lane) & 1u);
+    }
+    return n;
+}
+
+GLD_BATCH_HOT
+LaneMask
+BatchLeakageDriver::bernoulli_mask(const LaneRate& rate, LaneMask mask)
+{
+    // Rng::bernoulli consumes NO draw at p <= 0 or p >= 1; neither may we.
+    if (rate.never || mask == 0)
+        return 0;
+    if (rate.always)
+        return mask;
+    if ((active_ & ~mask) == 0) {
+        // Full-width site: one CPU-dispatched kernel pass (padding lanes
+        // advance harmlessly — reseeded next batch, never observed).
+        return site_kernels().one(lane_rng_, n_lanes_, rate.thresh) & mask;
+    }
+    // Partial site (e.g. a reset skipping leaked lanes): masked step so
+    // only the mask's lanes advance, then the branchless compare —
+    // (a - t) has its sign bit set iff a < t (both fit in 53 bits).
+    lane_rng_.step_masked(n_lanes_, mask, draw_);
+    uint64_t any = 0;
+    for (int l = 0; l < n_lanes_; ++l) {
+        // Mask during the compare: non-mask lanes' draw word is 0,
+        // which would otherwise read as a spurious fire.
+        bits_[l] = (((draw_[l] >> 11) - rate.thresh) >> 63) &
+                   ((mask >> l) & 1u);
+        any |= bits_[l];
+    }
+    if (any == 0)
+        return 0;
+    return pack_bits(n_lanes_) & mask;
+}
+
+inline void
+BatchLeakageDriver::depolarize1(int q)
+{
+    const LaneMask fired = bernoulli_mask(rate_p_, active_);
+    if (fired == 0)
+        return;
+    LaneMask xs = 0, zs = 0;
+    for_each_lane(fired, [&](int l) {
+        const uint32_t pauli = 1 + lane_rng_.uniform_int_lane(l, 3);
+        xs |= static_cast<LaneMask>(pauli & 1u) << l;
+        zs |= static_cast<LaneMask>((pauli >> 1) & 1u) << l;
+    });
+    state_->apply_pauli(q, xs, zs);
+}
+
+inline void
+BatchLeakageDriver::depolarize2(int q0, int q1)
+{
+    const LaneMask fired = bernoulli_mask(rate_p_, active_);
+    if (fired == 0)
+        return;
+    LaneMask x0 = 0, z0 = 0, x1 = 0, z1 = 0;
+    for_each_lane(fired, [&](int l) {
+        const uint32_t pauli = 1 + lane_rng_.uniform_int_lane(l, 15);
+        x0 |= static_cast<LaneMask>(pauli & 1u) << l;
+        z0 |= static_cast<LaneMask>((pauli >> 1) & 1u) << l;
+        x1 |= static_cast<LaneMask>((pauli >> 2) & 1u) << l;
+        z1 |= static_cast<LaneMask>((pauli >> 3) & 1u) << l;
+    });
+    if ((x0 | z0) != 0)
+        state_->apply_pauli(q0, x0, z0);
+    if ((x1 | z1) != 0)
+        state_->apply_pauli(q1, x1, z1);
+}
+
+inline void
+BatchLeakageDriver::leak_maybe(int q)
+{
+    const LaneMask leak = bernoulli_mask(rate_pl_, active_);
+    if (leak != 0)
+        set_leak(q, leak);
+}
+
+// The fused multi-site passes below draw two/three consecutive Bernoulli
+// sites per lane in ONE pass over the lane-RNG state (the state lives in
+// registers between the sites instead of round-tripping memory per
+// site).  Scalar draw order per lane is site1, [payload if fired],
+// site2, ...; the pass optimistically draws the later sites first, so a
+// lane that fires a payload-bearing site1 is REPAIRED: rewind its
+// stream past the optimistic draws (exact xoshiro inverse), insert the
+// payload draw, then redraw the later sites.  Fires are O(p) rare; the
+// repair is per-lane scalar.
+
+GLD_BATCH_HOT
+void
+BatchLeakageDriver::data_noise_pair(int q)
+{
+    // depolarize1(q) then leak_maybe(q), fused.  Degenerate rates fall
+    // back to the single-site path (which replicates Rng::bernoulli's
+    // draw-skipping exactly).
+    if (rate_p_.never || rate_p_.always || rate_pl_.never ||
+        rate_pl_.always) {
+        depolarize1(q);
+        leak_maybe(q);
+        return;
+    }
+    LaneMask f1, f2;
+    site_kernels().two(lane_rng_, n_lanes_, rate_p_.thresh,
+                       rate_pl_.thresh, &f1, &f2);
+    LaneMask leak = f2 & active_;
+    const LaneMask fired = f1 & active_;
+    if (fired != 0) {
+        LaneMask xs = 0, zs = 0;
+        for_each_lane(fired, [&](int l) {
+            // Scalar order repair: rewind past the optimistic leak draw,
+            // draw the Pauli payload, then redraw the leak site.
+            lane_rng_.unstep_lane(l);
+            const uint32_t pauli = 1 + lane_rng_.uniform_int_lane(l, 3);
+            xs |= static_cast<LaneMask>(pauli & 1u) << l;
+            zs |= static_cast<LaneMask>((pauli >> 1) & 1u) << l;
+            const uint64_t redraw = lane_rng_.next_lane(l);
+            const LaneMask bit = 1ull << static_cast<unsigned>(l);
+            if ((((redraw >> 11) - rate_pl_.thresh) >> 63) != 0)
+                leak |= bit;
+            else
+                leak &= ~bit;
+        });
+        state_->apply_pauli(q, xs, zs);
+    }
+    if (leak != 0)
+        set_leak(q, leak);
+}
+
+GLD_BATCH_HOT
+void
+BatchLeakageDriver::cnot_noise_triple(int control, int target)
+{
+    // depolarize2(control, target), leak_maybe(control),
+    // leak_maybe(target) — the gate-noise tail of every CNOT — fused.
+    if (rate_p_.never || rate_p_.always || rate_pl_.never ||
+        rate_pl_.always) {
+        depolarize2(control, target);
+        leak_maybe(control);
+        leak_maybe(target);
+        return;
+    }
+    LaneMask f1, f2, f3;
+    site_kernels().three(lane_rng_, n_lanes_, rate_p_.thresh,
+                         rate_pl_.thresh, rate_pl_.thresh, &f1, &f2, &f3);
+    LaneMask leak_c = f2 & active_;
+    LaneMask leak_t = f3 & active_;
+    const LaneMask fired = f1 & active_;
+    if (fired != 0) {
+        LaneMask x0 = 0, z0 = 0, x1 = 0, z1 = 0;
+        for_each_lane(fired, [&](int l) {
+            lane_rng_.unstep_lane(l);
+            lane_rng_.unstep_lane(l);
+            const uint32_t pauli = 1 + lane_rng_.uniform_int_lane(l, 15);
+            x0 |= static_cast<LaneMask>(pauli & 1u) << l;
+            z0 |= static_cast<LaneMask>((pauli >> 1) & 1u) << l;
+            x1 |= static_cast<LaneMask>((pauli >> 2) & 1u) << l;
+            z1 |= static_cast<LaneMask>((pauli >> 3) & 1u) << l;
+            const LaneMask bit = 1ull << static_cast<unsigned>(l);
+            const uint64_t rc_draw = lane_rng_.next_lane(l);
+            if ((((rc_draw >> 11) - rate_pl_.thresh) >> 63) != 0)
+                leak_c |= bit;
+            else
+                leak_c &= ~bit;
+            const uint64_t rt_draw = lane_rng_.next_lane(l);
+            if ((((rt_draw >> 11) - rate_pl_.thresh) >> 63) != 0)
+                leak_t |= bit;
+            else
+                leak_t &= ~bit;
+        });
+        if ((x0 | z0) != 0)
+            state_->apply_pauli(control, x0, z0);
+        if ((x1 | z1) != 0)
+            state_->apply_pauli(target, x1, z1);
+    }
+    if (leak_c != 0)
+        set_leak(control, leak_c);
+    if (leak_t != 0)
+        set_leak(target, leak_t);
+}
+
+inline void
+BatchLeakageDriver::cnot(int control, int target)
+{
+    const LaneMask cl = leaked_[static_cast<size_t>(control)];
+    const LaneMask tl = leaked_[static_cast<size_t>(target)];
+    const LaneMask clean = active_ & ~cl & ~tl;
+    if (clean != 0)
+        state_->coherent_cnot(control, target, clean);
+
+    // Exactly-one-leaked lanes take the malfunction/transport branches;
+    // both-leaked lanes do nothing observable (scalar semantics).  The
+    // malfunction shape is lane-independent — whether the disturbed
+    // partner is an ancilla is a property of the circuit, not the shot.
+    const LaneMask branch = active_ & (cl ^ tl);
+    if (branch != 0) {
+        LaneMask transport = 0;
+        LaneMask xs_c = 0, zs_c = 0, xs_t = 0, zs_t = 0;
+        const bool t_is_anc = target >= code_->n_data();
+        const bool c_is_anc = control >= code_->n_data();
+        for_each_lane(branch, [&](int l) {
+            const LaneMask bit = 1ull << static_cast<unsigned>(l);
+            if ((cl & bit) != 0) {
+                // Leaked control: transport with prob `mobility`, else
+                // the target partner is disturbed.
+                if (lane_rng_.bernoulli_lane(l, np_.mobility)) {
+                    transport |= bit;
+                } else if (t_is_anc && !np_.leaked_gate_backaction) {
+                    // Ancilla CNOT target is Z-measured: 50% X flip.
+                    if (lane_rng_.bit_lane(l))
+                        xs_t |= bit;
+                } else {
+                    const uint32_t pauli = lane_rng_.uniform_int_lane(l, 4);
+                    xs_t |= static_cast<LaneMask>(pauli & 1u) << l;
+                    zs_t |= static_cast<LaneMask>((pauli >> 1) & 1u) << l;
+                }
+            } else {
+                // Leaked target: the control partner is disturbed.
+                if (c_is_anc && !np_.leaked_gate_backaction) {
+                    // Ancilla CNOT control (X check, between its
+                    // Hadamards) is X-measured: 50% Z flip.
+                    if (lane_rng_.bit_lane(l))
+                        zs_c |= bit;
+                } else {
+                    const uint32_t pauli = lane_rng_.uniform_int_lane(l, 4);
+                    xs_c |= static_cast<LaneMask>(pauli & 1u) << l;
+                    zs_c |= static_cast<LaneMask>((pauli >> 1) & 1u) << l;
+                }
+            }
+        });
+        if ((xs_t | zs_t) != 0)
+            state_->apply_pauli(target, xs_t, zs_t);
+        if ((xs_c | zs_c) != 0)
+            state_->apply_pauli(control, xs_c, zs_c);
+        if (transport != 0) {
+            set_leak(target, transport);
+            clear_leak(control, transport);
+        }
+    }
+
+    cnot_noise_triple(control, target);
+}
+
+inline void
+BatchLeakageDriver::apply_lrc_data(int q, int lane)
+{
+    const LaneMask bit = 1ull << static_cast<unsigned>(lane);
+    const int pc = lrc_partner_[static_cast<size_t>(q)];
+    if (pc >= 0) {
+        const int anc = code_->ancilla_of(pc);
+        const bool anc_was_leaked =
+            (leaked_[static_cast<size_t>(anc)] & bit) != 0;
+        clear_leak(q, bit);
+        clear_leak(anc, bit);
+        if (anc_was_leaked)
+            set_leak(q, bit);  // false-positive LRC pumps the leak IN
+    } else {
+        clear_leak(q, bit);
+    }
+    if (lane_rng_.bernoulli_lane(lane, np_.lrc_depol())) {
+        const uint32_t pauli = 1 + lane_rng_.uniform_int_lane(lane, 3);
+        state_->apply_pauli(q, (pauli & 1u) != 0 ? bit : 0,
+                            (pauli & 2u) != 0 ? bit : 0);
+    }
+    if (lane_rng_.bernoulli_lane(lane, np_.lrc_leak()))
+        set_leak(q, bit);
+}
+
+inline void
+BatchLeakageDriver::apply_lrc_check(int c, int lane)
+{
+    const LaneMask bit = 1ull << static_cast<unsigned>(lane);
+    const int anc = code_->ancilla_of(c);
+    clear_leak(anc, bit);
+    state_->reset_z(anc, bit);
+    if (lane_rng_.bernoulli_lane(lane, np_.lrc_leak()))
+        set_leak(anc, bit);
+}
+
+GLD_BATCH_HOT
+void
+BatchLeakageDriver::run_round_batch(const std::vector<LrcSchedule>& lane_lrcs,
+                                    std::vector<RoundResult>* out)
+{
+    if (lane_lrcs.size() < static_cast<size_t>(n_lanes_))
+        throw std::invalid_argument(
+            "run_round_batch: " + std::to_string(lane_lrcs.size()) +
+            " schedules for " + std::to_string(n_lanes_) + " lanes");
+    const int n_checks = code_->n_checks();
+
+    // 1. Scheduled LRC gadgets, per lane in that lane's schedule order
+    //    (each lane draws only from its own stream, so lane interleaving
+    //    is free to be loop order).
+    for (int l = 0; l < n_lanes_; ++l) {
+        const LrcSchedule& sched = lane_lrcs[static_cast<size_t>(l)];
+        for (int q : sched.data_qubits)
+            apply_lrc_data(q, l);
+        for (int c : sched.checks)
+            apply_lrc_check(c, l);
+    }
+
+    // 2. Round-start data noise (fused pair per qubit).
+    for (int q = 0; q < code_->n_data(); ++q)
+        data_noise_pair(q);
+
+    // 3. The scheduled extraction circuit, word-wide.
+    for (const Op& op : rc_->ops()) {
+        switch (op.type) {
+          case OpType::kResetZ: {
+            // Reset skips leaked lanes entirely: no state touch, no
+            // init-error draw (scalar semantics) — hence the masked site.
+            const LaneMask ok =
+                active_ & ~leaked_[static_cast<size_t>(op.q0)];
+            if (ok != 0) {
+                state_->reset_z(op.q0, ok);
+                const LaneMask flip = bernoulli_mask(rate_p_, ok);
+                if (flip != 0)
+                    state_->apply_pauli(op.q0, flip, 0);
+            }
+            break;
+          }
+          case OpType::kH: {
+            const LaneMask ok =
+                active_ & ~leaked_[static_cast<size_t>(op.q0)];
+            if (ok != 0)
+                state_->hadamard(op.q0, ok);
+            depolarize1(op.q0);
+            break;
+          }
+          case OpType::kCnot:
+            cnot(op.q0, op.q1);
+            break;
+          case OpType::kMeasure: {
+            const int anc = op.q0;
+            const LaneMask lk =
+                active_ & leaked_[static_cast<size_t>(anc)];
+            const LaneMask ok = active_ & ~lk;
+            // One word-wide readout; leaked lanes' bits are discarded
+            // and replaced by that lane's random-outcome draw.  Every
+            // active lane consumes exactly one word here — leaked lanes
+            // as Rng::bit, the rest as the readout-error Bernoulli — so
+            // one full-width step serves the whole site.  (At p <= 0 or
+            // p >= 1 the clean lanes must NOT draw, like Rng::bernoulli.)
+            const LaneMask measured = state_->measure_z(anc);
+            LaneMask flip;
+            if (!rate_p_.never && !rate_p_.always) {
+                if (lk == 0 && !rate_mlr_.never && !rate_mlr_.always) {
+                    // No leaked lane: readout error + MLR error as one
+                    // fused double site (the usual case; neither site
+                    // has a payload draw, so no repair can be needed).
+                    LaneMask err, mlrf;
+                    site_kernels().two(lane_rng_, n_lanes_,
+                                       rate_p_.thresh, rate_mlr_.thresh,
+                                       &err, &mlrf);
+                    flip = (measured ^ (err & active_)) & ok;
+                    meas_flip_[static_cast<size_t>(op.mslot)] = flip;
+                    mlr_flag_[static_cast<size_t>(op.mslot)] =
+                        mlrf & active_;
+                    break;
+                }
+                if (lk == 0) {
+                    // No leaked lane: pure readout-error site.
+                    const LaneMask err =
+                        site_kernels().one(lane_rng_, n_lanes_,
+                                           rate_p_.thresh) &
+                        active_;
+                    flip = (measured ^ err) & ok;
+                    meas_flip_[static_cast<size_t>(op.mslot)] = flip;
+                    mlr_flag_[static_cast<size_t>(op.mslot)] =
+                        bernoulli_mask(rate_mlr_, active_);
+                    break;
+                }
+                lane_rng_.step_all(n_lanes_, draw_);
+                // Readout error via the branchless compare + quiet-site
+                // early-out (see bernoulli_mask); leaked lanes reuse the
+                // same one-word draw as their Rng::bit outcome.
+                uint64_t any = 0;
+                for (int l = 0; l < n_lanes_; ++l) {
+                    bits_[l] = ((draw_[l] >> 11) - rate_p_.thresh) >> 63;
+                    any |= bits_[l];
+                }
+                const LaneMask err = any != 0 ? pack_bits(n_lanes_) : 0;
+                LaneMask rnd = 0;
+                for_each_lane(lk, [&](int l) {
+                    rnd |= (draw_[l] >> 63) << l;
+                });
+                flip = ((measured ^ err) & ok) | (rnd & lk);
+            } else {
+                lane_rng_.step_masked(n_lanes_, lk, draw_);
+                LaneMask rnd = 0;
+                for_each_lane(lk, [&](int l) {
+                    rnd |= (draw_[l] >> 63) << l;
+                });
+                const LaneMask err = rate_p_.always ? ok : 0;
+                flip = ((measured ^ err) & ok) | (rnd & lk);
+            }
+            // MLR leak flag with symmetric misclassification.
+            const LaneMask mlr = lk ^ bernoulli_mask(rate_mlr_, active_);
+            meas_flip_[static_cast<size_t>(op.mslot)] = flip;
+            mlr_flag_[static_cast<size_t>(op.mslot)] = mlr;
+            break;
+          }
+        }
+    }
+
+    // 4. Detector words, then the per-lane transpose the policies read.
+    //    Every entry of every lane is (re)written below, so the vectors
+    //    are only sized here — no zero-fill churn per round.
+    out->resize(static_cast<size_t>(n_lanes_));
+    for (int l = 0; l < n_lanes_; ++l) {
+        RoundResult& rr = (*out)[static_cast<size_t>(l)];
+        if (rr.meas_flip.size() != static_cast<size_t>(n_checks)) {
+            rr.meas_flip.resize(static_cast<size_t>(n_checks));
+            rr.detector.resize(static_cast<size_t>(n_checks));
+            rr.mlr_flag.resize(static_cast<size_t>(n_checks));
+        }
+    }
+    // Detector words first (also advances prev_meas_), then a lane-major
+    // transpose: per lane the writes are small contiguous runs, instead
+    // of scattering one byte into 64 different vectors per check.
+    for (int c = 0; c < n_checks; ++c) {
+        const size_t ci = static_cast<size_t>(c);
+        const LaneMask meas = meas_flip_[ci];
+        det_scratch_[ci] =
+            (first_round_ && code_->check(c).type == CheckType::kX)
+                ? 0
+                : meas ^ prev_meas_[ci];
+        prev_meas_[ci] = meas;
+    }
+    // 8x8 tiles: spread each check word's 8-lane byte to 0/1 bytes, byte-
+    // transpose the tile, and store eight checks of one lane with a
+    // single 8-byte write.  ~1 op/byte instead of a scalar bit-extract
+    // per (lane, check, array) — this transpose was 30% of the whole
+    // batch path before.
+    const auto transpose_into =
+        [&](const std::vector<LaneMask>& words,
+            std::vector<uint8_t> RoundResult::*field) {
+            uint64_t tile[8];
+            for (int c0 = 0; c0 < n_checks; c0 += 8) {
+                const int cw = std::min(8, n_checks - c0);
+                for (int k = 0; k * 8 < n_lanes_; ++k) {
+                    for (int j = 0; j < 8; ++j) {
+                        const uint64_t w =
+                            j < cw ? words[static_cast<size_t>(c0 + j)] : 0;
+                        tile[j] = spread_bits_to_bytes(w >> (8 * k));
+                    }
+                    transpose8x8_bytes(tile);
+                    const int lw = std::min(8, n_lanes_ - k * 8);
+                    for (int i = 0; i < lw; ++i) {
+                        RoundResult& rr =
+                            (*out)[static_cast<size_t>(8 * k + i)];
+                        std::memcpy((rr.*field).data() + c0, &tile[i],
+                                    static_cast<size_t>(cw));
+                    }
+                }
+            }
+        };
+    transpose_into(meas_flip_, &RoundResult::meas_flip);
+    transpose_into(det_scratch_, &RoundResult::detector);
+    transpose_into(mlr_flag_, &RoundResult::mlr_flag);
+    first_round_ = false;
+}
+
+GLD_BATCH_HOT
+void
+BatchLeakageDriver::final_data_measure_batch(
+    std::vector<std::vector<uint8_t>>* out)
+{
+    out->resize(static_cast<size_t>(n_lanes_));
+    for (int l = 0; l < n_lanes_; ++l)
+        (*out)[static_cast<size_t>(l)].assign(
+            static_cast<size_t>(code_->n_data()), 0);
+    for (int q = 0; q < code_->n_data(); ++q) {
+        const LaneMask lk = active_ & leaked_[static_cast<size_t>(q)];
+        const LaneMask ok = active_ & ~lk;
+        const LaneMask measured = state_->measure_z(q);
+        LaneMask flip;
+        if (!rate_p_.never && !rate_p_.always) {
+            lane_rng_.step_all(n_lanes_, draw_);
+            LaneMask rnd = 0, err = 0;
+            for (int l = 0; l < n_lanes_; ++l) {
+                rnd |= (draw_[l] >> 63) << l;
+                err |= static_cast<LaneMask>((draw_[l] >> 11) <
+                                             rate_p_.thresh)
+                       << l;
+            }
+            flip = ((measured ^ err) & ok) | (rnd & lk);
+        } else {
+            lane_rng_.step_masked(n_lanes_, lk, draw_);
+            LaneMask rnd = 0;
+            for_each_lane(lk, [&](int l) { rnd |= (draw_[l] >> 63) << l; });
+            const LaneMask err = rate_p_.always ? ok : 0;
+            flip = ((measured ^ err) & ok) | (rnd & lk);
+        }
+        for (int l = 0; l < n_lanes_; ++l)
+            (*out)[static_cast<size_t>(l)][static_cast<size_t>(q)] =
+                static_cast<uint8_t>((flip >> l) & 1u);
+    }
+}
+
+// --- BatchLeakageDriverSim scalar adapters. ---
+
+RoundResult
+BatchLeakageDriverSim::run_round(const LrcSchedule& lrcs)
+{
+    one_lrcs_[0] = lrcs;
+    driver_.run_round_batch(one_lrcs_, &one_round_);
+    return one_round_[0];
+}
+
+std::vector<uint8_t>
+BatchLeakageDriverSim::final_data_measure()
+{
+    driver_.final_data_measure_batch(&one_flips_);
+    return one_flips_[0];
+}
+
+}  // namespace gld

@@ -1,0 +1,702 @@
+#ifndef GLD_SIM_BATCH_DRIVER_H_
+#define GLD_SIM_BATCH_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/round_circuit.h"
+#include "codes/css_code.h"
+#include "noise/noise_model.h"
+#include "sim/leakage_driver.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace gld {
+
+/** Lanes per batch word: 64 Monte-Carlo shots packed one per bit. */
+constexpr int kBatchLanes = 64;
+
+/** One bit per lane; bit l set means "lane l participates". */
+using LaneMask = uint64_t;
+
+/** Invokes f(lane) for every set bit of m, ascending. */
+template <typename F>
+inline void
+for_each_lane(LaneMask m, F&& f)
+{
+    while (m != 0) {
+        f(__builtin_ctzll(m));
+        m &= m - 1;
+    }
+}
+
+/**
+ * 64 xoshiro256** streams stored structure-of-arrays, one per lane.
+ *
+ * Lane l's stream is seeded from an Rng (master.split(shot)) and steps
+ * with the identical update rule, so the lane's draw sequence is
+ * bit-for-bit the scalar driver's — while `step_all`/`step_masked`
+ * advance every lane in one pass the compiler can vectorize.  This is
+ * where the batch backend's throughput comes from: the noise draws are
+ * ~all of a frame simulator's per-shot cost, and here 64 of them cost a
+ * few wide ops instead of 64 function calls.
+ *
+ * The Bernoulli fast path compares the 53-bit mantissa draw against
+ * ceil(p * 2^53): exactly equivalent to Rng::bernoulli's
+ * `uniform() < p` (the scaling by 2^53 is a power of two, so both sides
+ * of the comparison are exact), with no int->double conversion per lane.
+ */
+class LaneRngBank {
+  public:
+    /** Lane l's stream := a bit-identical copy of `rng`'s. */
+    void seed_lane(int l, const Rng& rng)
+    {
+        uint64_t s[4];
+        rng.export_state(s);
+        s0_[l] = s[0];
+        s1_[l] = s[1];
+        s2_[l] = s[2];
+        s3_[l] = s[3];
+    }
+
+    /**
+     * Advances lanes [0, n) one step and writes lane l's draw to out[l].
+     * Inactive lanes < n advance too — harmless, they are reseeded at
+     * the next batch and their draws are never observed.
+     */
+    void step_all(int n, uint64_t* __restrict__ out)
+    {
+        // Same update as step_lane, with the x*5 / x*9 multiplies spelled
+        // as shift-adds: SSE2 has no 64-bit multiply, and gcc refuses to
+        // vectorize the loop with them present.
+        for (int l = 0; l < n; ++l) {
+            const uint64_t m5 = s1_[l] + (s1_[l] << 2);
+            const uint64_t r7 = rotl(m5, 7);
+            out[l] = r7 + (r7 << 3);
+            const uint64_t t = s1_[l] << 17;
+            s2_[l] ^= s0_[l];
+            s3_[l] ^= s1_[l];
+            s1_[l] ^= s2_[l];
+            s0_[l] ^= s3_[l];
+            s2_[l] ^= t;
+            s3_[l] = rotl(s3_[l], 45);
+        }
+    }
+
+    /**
+     * Advances ONLY the lanes of `mask` within [0, n) (out of other
+     * lanes is 0).  Used at sites where some active lanes must not draw
+     * (e.g. a reset pulse skips leaked lanes), so their streams stay
+     * scalar-aligned.
+     */
+    void step_masked(int n, LaneMask mask, uint64_t* __restrict__ out)
+    {
+        for (int l = 0; l < n; ++l) {
+            const uint64_t keep =
+                static_cast<uint64_t>(0) - ((mask >> l) & 1u);
+            const uint64_t m5 = s1_[l] + (s1_[l] << 2);
+            const uint64_t r7 = rotl(m5, 7);
+            const uint64_t r = r7 + (r7 << 3);
+            const uint64_t t = s1_[l] << 17;
+            uint64_t n2 = s2_[l] ^ s0_[l];
+            uint64_t n3 = s3_[l] ^ s1_[l];
+            const uint64_t n1 = s1_[l] ^ n2;
+            const uint64_t n0 = s0_[l] ^ n3;
+            n2 ^= t;
+            n3 = rotl(n3, 45);
+            s0_[l] ^= (s0_[l] ^ n0) & keep;
+            s1_[l] ^= (s1_[l] ^ n1) & keep;
+            s2_[l] ^= (s2_[l] ^ n2) & keep;
+            s3_[l] ^= (s3_[l] ^ n3) & keep;
+            out[l] = r & keep;
+        }
+    }
+
+    /**
+     * Fused step + Bernoulli compare: advances lanes [0, n), writes the
+     * 0/1 fire flag of lane l to bits[l] (fire iff mantissa draw <
+     * thresh, branchless via the subtraction sign bit) and returns the
+     * OR of all flags — one pass, no draw-word round trip through
+     * memory.  This is the single hottest loop of the batch backend.
+     */
+    uint64_t step_compare_all(int n, uint64_t thresh,
+                              uint64_t* __restrict__ bits)
+    {
+        uint64_t any = 0;
+        for (int l = 0; l < n; ++l) {
+            const uint64_t m5 = s1_[l] + (s1_[l] << 2);
+            const uint64_t r7 = rotl(m5, 7);
+            const uint64_t r = r7 + (r7 << 3);
+            const uint64_t t = s1_[l] << 17;
+            s2_[l] ^= s0_[l];
+            s3_[l] ^= s1_[l];
+            s1_[l] ^= s2_[l];
+            s0_[l] ^= s3_[l];
+            s2_[l] ^= t;
+            s3_[l] = rotl(s3_[l], 45);
+            bits[l] = ((r >> 11) - thresh) >> 63;
+            any |= bits[l];
+        }
+        return any;
+    }
+
+    /**
+     * Fused DOUBLE site: per lane, draw-and-compare against t1 then t2
+     * in one pass — the state round-trips memory once for two sites.
+     * Per-lane draw order is site1 then site2, exactly the scalar
+     * order; callers repair fired payload lanes via unstep_lane.
+     */
+    void step_compare2(int n, uint64_t t1, uint64_t t2,
+                       uint64_t* __restrict__ b1,
+                       uint64_t* __restrict__ b2, uint64_t* any1,
+                       uint64_t* any2)
+    {
+        uint64_t a1 = 0, a2 = 0;
+        for (int l = 0; l < n; ++l) {
+            uint64_t s0 = s0_[l], s1 = s1_[l], s2 = s2_[l], s3 = s3_[l];
+            const uint64_t r1 = out_scramble(s1);
+            advance(s0, s1, s2, s3);
+            const uint64_t r2 = out_scramble(s1);
+            advance(s0, s1, s2, s3);
+            s0_[l] = s0;
+            s1_[l] = s1;
+            s2_[l] = s2;
+            s3_[l] = s3;
+            b1[l] = ((r1 >> 11) - t1) >> 63;
+            b2[l] = ((r2 >> 11) - t2) >> 63;
+            a1 |= b1[l];
+            a2 |= b2[l];
+        }
+        *any1 = a1;
+        *any2 = a2;
+    }
+
+    /** Fused TRIPLE site (one memory round trip for three draws). */
+    void step_compare3(int n, uint64_t t1, uint64_t t2, uint64_t t3,
+                       uint64_t* __restrict__ b1,
+                       uint64_t* __restrict__ b2,
+                       uint64_t* __restrict__ b3, uint64_t* any1,
+                       uint64_t* any2, uint64_t* any3)
+    {
+        uint64_t a1 = 0, a2 = 0, a3 = 0;
+        for (int l = 0; l < n; ++l) {
+            uint64_t s0 = s0_[l], s1 = s1_[l], s2 = s2_[l], s3 = s3_[l];
+            const uint64_t r1 = out_scramble(s1);
+            advance(s0, s1, s2, s3);
+            const uint64_t r2 = out_scramble(s1);
+            advance(s0, s1, s2, s3);
+            const uint64_t r3 = out_scramble(s1);
+            advance(s0, s1, s2, s3);
+            s0_[l] = s0;
+            s1_[l] = s1;
+            s2_[l] = s2;
+            s3_[l] = s3;
+            b1[l] = ((r1 >> 11) - t1) >> 63;
+            b2[l] = ((r2 >> 11) - t2) >> 63;
+            b3[l] = ((r3 >> 11) - t3) >> 63;
+            a1 |= b1[l];
+            a2 |= b2[l];
+            a3 |= b3[l];
+        }
+        *any1 = a1;
+        *any2 = a2;
+        *any3 = a3;
+    }
+
+    /**
+     * Exact inverse of one step of lane l's stream (xoshiro256**'s state
+     * transition is an invertible linear map).  Used to repair a fired
+     * lane after a fused multi-site pass: rewind past the
+     * optimistically-taken later draws, insert the payload draw the
+     * scalar order demands, then redraw the later sites.
+     */
+    void unstep_lane(int l)
+    {
+        // Forward map: a'=a^d^b, b'=b^c^a, c'=c^a^(b<<17),
+        // d'=rotl(d^b,45).  Solve back for (a,b,c,d).
+        const uint64_t A = s0_[l], B = s1_[l], C = s2_[l], D = s3_[l];
+        const uint64_t d1 = rotl(D, 64 - 45);  // rotr 45: d ^ b
+        const uint64_t a = A ^ d1;
+        const uint64_t y = C ^ B;  // = b ^ (b << 17)
+        uint64_t b = y;
+        b = y ^ (b << 17);
+        b = y ^ (b << 17);
+        b = y ^ (b << 17);
+        const uint64_t c = b ^ B ^ a;
+        s0_[l] = a;
+        s1_[l] = b;
+        s2_[l] = c;
+        s3_[l] = d1 ^ b;
+    }
+
+    /** One lane's next_u64 (the rare, lane-divergent paths). */
+    uint64_t next_lane(int l) { return step_lane(l); }
+
+    /** Bit-identical to Rng::uniform on lane l's stream. */
+    double uniform_lane(int l)
+    {
+        return static_cast<double>(next_lane(l) >> 11) * 0x1.0p-53;
+    }
+
+    /** Bit-identical to Rng::bernoulli on lane l's stream. */
+    bool bernoulli_lane(int l, double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform_lane(l) < p;
+    }
+
+    /** Bit-identical to Rng::uniform_int on lane l's stream. */
+    uint32_t uniform_int_lane(int l, uint32_t n)
+    {
+        return static_cast<uint32_t>(
+            (static_cast<__uint128_t>(next_lane(l)) * n) >> 64);
+    }
+
+    /** Bit-identical to Rng::bit on lane l's stream. */
+    bool bit_lane(int l) { return (next_lane(l) >> 63) != 0; }
+
+    // Raw SoA state rows, for the batch backend's CPU-dispatched site
+    // kernels (batch_driver.cc) — the AVX-512/AVX2 paths run the same
+    // update rule on these words with compare-to-mask outputs.
+    uint64_t* raw_s0() { return s0_; }
+    uint64_t* raw_s1() { return s1_; }
+    uint64_t* raw_s2() { return s2_; }
+    uint64_t* raw_s3() { return s3_; }
+
+  private:
+    static uint64_t rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** The xoshiro256** output function (x*5 rotl 7 *9, as shift-adds). */
+    static uint64_t out_scramble(uint64_t s1)
+    {
+        const uint64_t m5 = s1 + (s1 << 2);
+        const uint64_t r7 = rotl(m5, 7);
+        return r7 + (r7 << 3);
+    }
+
+    /** The xoshiro256** state transition on four local words. */
+    static void advance(uint64_t& s0, uint64_t& s1, uint64_t& s2,
+                        uint64_t& s3)
+    {
+        const uint64_t t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = rotl(s3, 45);
+    }
+
+    uint64_t step_lane(int l)
+    {
+        const uint64_t result = rotl(s1_[l] * 5, 7) * 9;
+        const uint64_t t = s1_[l] << 17;
+        s2_[l] ^= s0_[l];
+        s3_[l] ^= s1_[l];
+        s1_[l] ^= s2_[l];
+        s0_[l] ^= s3_[l];
+        s2_[l] ^= t;
+        s3_[l] = rotl(s3_[l], 45);
+        return result;
+    }
+
+    alignas(64) uint64_t s0_[kBatchLanes];
+    alignas(64) uint64_t s1_[kBatchLanes];
+    alignas(64) uint64_t s2_[kBatchLanes];
+    alignas(64) uint64_t s3_[kBatchLanes];
+};
+
+/**
+ * A Bernoulli rate preprocessed for the lane bank's word-wide draw:
+ * `thresh` is ceil(p * 2^53), and the p <= 0 / p >= 1 short-circuits
+ * mirror Rng::bernoulli (which consumes NO draw in either case).
+ */
+struct LaneRate {
+    double p = 0.0;
+    uint64_t thresh = 0;
+    bool never = true;
+    bool always = false;
+
+    LaneRate() = default;
+    explicit LaneRate(double pp) : p(pp)
+    {
+        never = p <= 0.0;
+        always = p >= 1.0;
+        if (!never && !always)
+            thresh = static_cast<uint64_t>(__builtin_ceil(p * 0x1.0p53));
+    }
+};
+
+/**
+ * The word-wide quantum-state interface a batch backend provides to the
+ * BatchLeakageDriver: every primitive of StatePrimitives, widened to act
+ * on up to kBatchLanes independent shots at once, selected by a LaneMask.
+ *
+ * Lane/mask contract:
+ *  - Bit l of every mask and of every returned word belongs to lane
+ *    (shot) l.  Lanes are independent shots: a masked op must not couple
+ *    lanes, and bits outside the mask must be left untouched.
+ *  - Masked ops may receive a mask with no bits set only via apply_pauli
+ *    component words (xs or zs may be zero); callers skip fully-empty
+ *    calls but are not required to.
+ *  - measure_z returns the whole word; the driver masks out the lanes it
+ *    does not want (leaked lanes' bits are discarded).  A future exact
+ *    batch backend may collapse all lanes here — discarded lanes'
+ *    outcomes are never observed, so this is safe.
+ *  - No primitive may touch the driver's RNG (same determinism contract
+ *    as the scalar StatePrimitives).
+ */
+class BatchStatePrimitives {
+  public:
+    virtual ~BatchStatePrimitives() = default;
+
+    /** Re-initializes all lanes to |0...0> for a new shot batch. */
+    virtual void reset_state() = 0;
+
+    /**
+     * Applies X to qubit q in the lanes of `xs` and Z in the lanes of
+     * `zs` (both bits set in a lane = Y, as in the scalar encoding).
+     */
+    virtual void apply_pauli(int q, LaneMask xs, LaneMask zs) = 0;
+
+    /** The coherent CNOT action in the lanes of `lanes`. */
+    virtual void coherent_cnot(int control, int target, LaneMask lanes) = 0;
+
+    /** The coherent Hadamard action in the lanes of `lanes`. */
+    virtual void hadamard(int q, LaneMask lanes) = 0;
+
+    /** Noiseless |0> reset of qubit q in the lanes of `lanes`. */
+    virtual void reset_z(int q, LaneMask lanes) = 0;
+
+    /**
+     * Z-basis readout of qubit q as one word: bit l is lane l's outcome
+     * flip vs the noiseless reference.  Lanes the caller knows to be
+     * leaked are masked off by the driver after the fact.
+     */
+    virtual LaneMask measure_z(int q) = 0;
+
+    /** Fired when qubit q's leak flag rises 0 -> 1 in the lanes given. */
+    virtual void park_leaked(int q, LaneMask lanes) = 0;
+};
+
+/**
+ * The batch execution path of the shared LeakageDriver: the SAME classical
+ * leakage semantics (sim/leakage_driver.{h,cc} is the reference
+ * implementation), executed for up to kBatchLanes shots in lockstep over a
+ * BatchStatePrimitives provider.
+ *
+ * Determinism contract — the reason this driver can exist at all:
+ *  - Lane l owns an independent noise stream, master.split(shot_base + l),
+ *    exactly the stream the SCALAR driver uses for its (shot_base + l)-th
+ *    shot.  At every decision site the driver walks the active lanes in
+ *    ascending order and draws per lane from that lane's stream, in the
+ *    same within-shot order as the scalar driver — so each lane's draw
+ *    sequence is bit-identical to the scalar backend's corresponding
+ *    shot, no matter what the other lanes do.
+ *  - Control flow is computed per lane into masks; state mutation happens
+ *    through word-wide masked primitives (the speedup), but never in a
+ *    way the scalar driver could distinguish.
+ *
+ * Any semantic change to the scalar LeakageDriver MUST be mirrored here;
+ * the cross-backend gate (frame vs batch_frame Metrics must be
+ * bit-identical, tier-1) is what catches a fork.
+ */
+class BatchLeakageDriver final {
+  public:
+    /**
+     * @param master the shot-master stream; lane l of batch b draws from
+     *        master.split(sum of earlier batch widths + l).  Pass the
+     *        SAME master the scalar backend would construct from the seed
+     *        and the lane streams line up shot for shot.
+     */
+    BatchLeakageDriver(const CssCode& code, const RoundCircuit& rc,
+                       const NoiseParams& np, Rng master,
+                       BatchStatePrimitives* state);
+
+    // Non-copyable for the same reason as LeakageDriver: the driver holds
+    // the backend's primitives pointer.
+    BatchLeakageDriver(const BatchLeakageDriver&) = delete;
+    BatchLeakageDriver& operator=(const BatchLeakageDriver&) = delete;
+
+    /**
+     * Starts a new batch of `n_lanes` shots (1 <= n_lanes <= kBatchLanes):
+     * clears flags/history/state, actives lanes [0, n_lanes) and reseeds
+     * lane l with master.split(shots_started + l).  Lanes >= n_lanes are
+     * padding: masked off everywhere and never drawing.
+     */
+    void reset_shot_batch(int n_lanes);
+
+    /** Lanes currently active (padding excluded). */
+    LaneMask active() const { return active_; }
+    int n_lanes() const { return n_lanes_; }
+
+    /** Raises the leak flag of qubit q in `lanes` (park hook on rise). */
+    void set_leak(int q, LaneMask lanes);
+    /** Raises check c's ancilla leak flag in `lanes`. */
+    void set_check_leak(int c, LaneMask lanes)
+    {
+        set_leak(code_->ancilla_of(c), lanes);
+    }
+    /** Clears qubit q's leak flag in `lanes`. */
+    void clear_leak(int q, LaneMask lanes)
+    {
+        leaked_[static_cast<size_t>(q)] &= ~lanes;
+    }
+    /** Leak-flag word of qubit q (bit per lane). */
+    LaneMask leaked(int q) const { return leaked_[static_cast<size_t>(q)]; }
+    /** Leak-flag words of every qubit (data first, then ancillas). */
+    const LaneMask* leaked_words() const { return leaked_.data(); }
+
+    // --- Per-lane ground truth (the runner's accounting view). ---
+    bool data_leaked(int lane, int q) const
+    {
+        return (leaked_[static_cast<size_t>(q)] >> lane) & 1u;
+    }
+    bool check_leaked(int lane, int c) const
+    {
+        return (leaked_[static_cast<size_t>(code_->ancilla_of(c))] >> lane) &
+               1u;
+    }
+    int n_data_leaked(int lane) const;
+    int n_check_leaked(int lane) const;
+
+    /**
+     * A scalar LeakageOracle view of one lane — what oracle policies and
+     * the runner's speculation accounting read for that lane's shot.
+     */
+    const LeakageOracle& lane_oracle(int lane) const
+    {
+        return lane_oracles_[static_cast<size_t>(lane)];
+    }
+
+    /**
+     * Applies each lane's scheduled LRC gadgets, then executes one noisy
+     * syndrome-extraction round for every active lane in lockstep.
+     * `lane_lrcs` must have at least n_lanes() entries; `out` is resized
+     * to n_lanes() per-lane RoundResults (storage reused across rounds).
+     */
+    void run_round_batch(const std::vector<LrcSchedule>& lane_lrcs,
+                         std::vector<RoundResult>* out);
+
+    /**
+     * Transversal Z-basis readout of all data qubits for every active
+     * lane; out is resized to n_lanes() per-lane flip vectors.
+     */
+    void final_data_measure_batch(std::vector<std::vector<uint8_t>>* out);
+
+    /** The LRC partner ancilla (check index) used for data qubit q. */
+    int lrc_partner(int q) const
+    {
+        return lrc_partner_[static_cast<size_t>(q)];
+    }
+
+    const NoiseParams& noise() const { return np_; }
+
+  private:
+    /** LeakageOracle adapter for one lane of the batch driver. */
+    class LaneOracle final : public LeakageOracle {
+      public:
+        void bind(const BatchLeakageDriver* d, int lane)
+        {
+            d_ = d;
+            lane_ = lane;
+        }
+        bool data_leaked(int q) const override
+        {
+            return d_->data_leaked(lane_, q);
+        }
+        bool check_leaked(int c) const override
+        {
+            return d_->check_leaked(lane_, c);
+        }
+        int n_data_leaked() const override
+        {
+            return d_->n_data_leaked(lane_);
+        }
+        int n_check_leaked() const override
+        {
+            return d_->n_check_leaked(lane_);
+        }
+
+      private:
+        const BatchLeakageDriver* d_ = nullptr;
+        int lane_ = 0;
+    };
+
+    void apply_lrc_data(int q, int lane);
+    void apply_lrc_check(int c, int lane);
+    void depolarize1(int q);
+    void depolarize2(int q0, int q1);
+    void leak_maybe(int q);
+    void cnot(int control, int target);
+
+    /**
+     * One word-wide Bernoulli site: every lane of `mask` draws once from
+     * its own stream (lanes outside `mask` do not advance) and the fired
+     * lanes come back as a mask.  Bit-identical per lane to
+     * Rng::bernoulli, including the no-draw p<=0 / p>=1 short-circuits.
+     */
+    LaneMask bernoulli_mask(const LaneRate& rate, LaneMask mask);
+
+    /** Packs bits[0..n) (each 0 or 1) into a LaneMask, bit l = bits[l]. */
+    static LaneMask pack_bits(const uint64_t* bits, int n)
+    {
+        LaneMask m = 0;
+        for (int l = 0; l < n; ++l)
+            m |= bits[l] << l;
+        return m;
+    }
+    LaneMask pack_bits(int n) const { return pack_bits(bits_, n); }
+
+    /** Fused depolarize1 + leak_maybe (the per-data-qubit noise pair). */
+    void data_noise_pair(int q);
+    /** Fused depolarize2 + leak_maybe x2 (the per-CNOT noise triple). */
+    void cnot_noise_triple(int control, int target);
+
+    const CssCode* code_;
+    const RoundCircuit* rc_;
+    NoiseParams np_;
+    LaneRate rate_p_;    ///< np.p, preprocessed for word-wide draws
+    LaneRate rate_pl_;   ///< np.pl()
+    LaneRate rate_mlr_;  ///< np.mlr_err()
+    Rng master_rng_;
+    uint64_t shots_started_ = 0;
+    LaneRngBank lane_rng_;  ///< kBatchLanes per-lane shot streams (SoA)
+    uint64_t draw_[kBatchLanes];  ///< scratch for word-wide draw sites
+    uint64_t bits_[kBatchLanes];  ///< scratch: 0/1 compare results
+
+    LaneMask active_ = 0;
+    int n_lanes_ = 0;
+    bool first_round_ = true;
+
+    std::vector<LaneMask> leaked_;     ///< leak-flag word per qubit
+    std::vector<LaneMask> prev_meas_;  ///< previous meas_flip word per check
+    std::vector<LaneMask> meas_flip_;  ///< scratch, word per check
+    std::vector<LaneMask> mlr_flag_;   ///< scratch, word per check
+    std::vector<LaneMask> det_scratch_;  ///< scratch, word per check
+    std::vector<int> lrc_partner_;
+    std::vector<LaneOracle> lane_oracles_;
+    BatchStatePrimitives* state_;
+};
+
+/**
+ * A batch-capable simulation backend: the full scalar Simulator API (so
+ * every interface-level test, policy and tool works unchanged — scalar
+ * calls address lane 0) plus the lockstep batch entry points the
+ * scheduler uses to run a whole shot block as one unit.
+ */
+class BatchSimulator : public Simulator {
+  public:
+    /** Max shots one batch holds (kBatchLanes for bit-packed backends). */
+    virtual int batch_width() const = 0;
+
+    /** Starts a batch of n_lanes shots (see BatchLeakageDriver). */
+    virtual void reset_shot_batch(int n_lanes) = 0;
+
+    /** Forces lane `lane`'s data qubit q into the leaked state. */
+    virtual void inject_data_leak_lane(int lane, int q) = 0;
+
+    /** Ground-truth oracle of one lane's shot. */
+    virtual const LeakageOracle& lane_oracle(int lane) const = 0;
+
+    /**
+     * Ground-truth leak-flag words, one per qubit (bit = lane) — the
+     * whole batch's truth in one read, so the runner's per-round
+     * speculation accounting is popcounts over words instead of 64
+     * oracle walks (entry q = qubit q, data then ancillas).
+     */
+    virtual const LaneMask* leaked_words() const = 0;
+
+    /** One lockstep round over every active lane. */
+    virtual void run_round_batch(const std::vector<LrcSchedule>& lane_lrcs,
+                                 std::vector<RoundResult>* out) = 0;
+
+    /** Lockstep final transversal readout of every active lane. */
+    virtual void final_data_measure_batch(
+        std::vector<std::vector<uint8_t>>* out) = 0;
+};
+
+/**
+ * Batch analogue of LeakageDriverSim: a backend derives, implements the
+ * seven BatchStatePrimitives plus name(), and gets the whole Simulator
+ * API — scalar calls run the batch driver one lane wide, so the same
+ * object serves interface tests and the lockstep scheduler path.
+ */
+class BatchLeakageDriverSim : public BatchSimulator,
+                              protected BatchStatePrimitives {
+  public:
+    int batch_width() const final { return kBatchLanes; }
+    void reset_shot_batch(int n_lanes) final
+    {
+        driver_.reset_shot_batch(n_lanes);
+    }
+    void inject_data_leak_lane(int lane, int q) final
+    {
+        driver_.set_leak(q, 1ull << lane);
+    }
+    const LeakageOracle& lane_oracle(int lane) const final
+    {
+        return driver_.lane_oracle(lane);
+    }
+    const LaneMask* leaked_words() const final
+    {
+        return driver_.leaked_words();
+    }
+    void run_round_batch(const std::vector<LrcSchedule>& lane_lrcs,
+                         std::vector<RoundResult>* out) final
+    {
+        driver_.run_round_batch(lane_lrcs, out);
+    }
+    void final_data_measure_batch(
+        std::vector<std::vector<uint8_t>>* out) final
+    {
+        driver_.final_data_measure_batch(out);
+    }
+
+    // --- Scalar Simulator API: lane 0 of a one-lane batch. ---
+    void reset_shot() final { driver_.reset_shot_batch(1); }
+    void inject_data_leak(int q) final { driver_.set_leak(q, 1u); }
+    void inject_check_leak(int c) final { driver_.set_check_leak(c, 1u); }
+    void inject_x(int q) final { apply_pauli(q, 1u, 0u); }
+    void inject_z(int q) final { apply_pauli(q, 0u, 1u); }
+    void clear_leak(int q) final { driver_.clear_leak(q, 1u); }
+    const LeakageOracle& leak_oracle() const final
+    {
+        return driver_.lane_oracle(0);
+    }
+    RoundResult run_round(const LrcSchedule& lrcs) final;
+    std::vector<uint8_t> final_data_measure() final;
+
+    /** The LRC partner ancilla (check index) used for data qubit q. */
+    int lrc_partner(int q) const { return driver_.lrc_partner(q); }
+
+    /** The shared batch driver (tests: drift gate, semantics probes). */
+    const BatchLeakageDriver& driver() const { return driver_; }
+
+  protected:
+    /** @param master see BatchLeakageDriver — pass the scalar backend's
+     *         master (e.g. Rng(seed)) for shot-for-shot lane alignment. */
+    BatchLeakageDriverSim(const CssCode& code, const RoundCircuit& rc,
+                          const NoiseParams& np, Rng master)
+        : driver_(code, rc, np, master, this)
+    {
+    }
+
+    BatchLeakageDriver driver_;
+
+  private:
+    // Scratch for the scalar API adapters (reused across rounds).
+    std::vector<LrcSchedule> one_lrcs_{1};
+    std::vector<RoundResult> one_round_;
+    std::vector<std::vector<uint8_t>> one_flips_;
+};
+
+}  // namespace gld
+
+#endif  // GLD_SIM_BATCH_DRIVER_H_

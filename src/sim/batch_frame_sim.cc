@@ -1,0 +1,69 @@
+#include "sim/batch_frame_sim.h"
+
+namespace gld {
+
+BatchFrameSim::BatchFrameSim(const CssCode& code, const RoundCircuit& rc,
+                             const NoiseParams& np, uint64_t seed)
+    // Same master stream as LeakFrameSim(seed): lane k of batch b is
+    // bit-identical to the scalar frame backend's shot (64*b + k).
+    : BatchLeakageDriverSim(code, rc, np, Rng(seed)),
+      fx_(static_cast<size_t>(code.n_qubits()), 0),
+      fz_(static_cast<size_t>(code.n_qubits()), 0)
+{
+}
+
+void
+BatchFrameSim::reset_state()
+{
+    std::fill(fx_.begin(), fx_.end(), 0);
+    std::fill(fz_.begin(), fz_.end(), 0);
+}
+
+void
+BatchFrameSim::apply_pauli(int q, LaneMask xs, LaneMask zs)
+{
+    fx_[static_cast<size_t>(q)] ^= xs;
+    fz_[static_cast<size_t>(q)] ^= zs;
+}
+
+void
+BatchFrameSim::coherent_cnot(int control, int target, LaneMask lanes)
+{
+    // X copies c->t, Z copies t->c — in the selected lanes only.
+    fx_[static_cast<size_t>(target)] ^=
+        fx_[static_cast<size_t>(control)] & lanes;
+    fz_[static_cast<size_t>(control)] ^=
+        fz_[static_cast<size_t>(target)] & lanes;
+}
+
+void
+BatchFrameSim::hadamard(int q, LaneMask lanes)
+{
+    // Swap the X and Z bits of the selected lanes.
+    const LaneMask diff =
+        (fx_[static_cast<size_t>(q)] ^ fz_[static_cast<size_t>(q)]) & lanes;
+    fx_[static_cast<size_t>(q)] ^= diff;
+    fz_[static_cast<size_t>(q)] ^= diff;
+}
+
+void
+BatchFrameSim::reset_z(int q, LaneMask lanes)
+{
+    fx_[static_cast<size_t>(q)] &= ~lanes;
+    fz_[static_cast<size_t>(q)] &= ~lanes;
+}
+
+LaneMask
+BatchFrameSim::measure_z(int q)
+{
+    return fx_[static_cast<size_t>(q)];
+}
+
+void
+BatchFrameSim::park_leaked(int /*q*/, LaneMask /*lanes*/)
+{
+    // A leaked lane's frame freezes in place, exactly like the scalar
+    // frame backend: the driver routes no coherent gates at it.
+}
+
+}  // namespace gld

@@ -1,0 +1,57 @@
+#ifndef GLD_SIM_BATCH_FRAME_SIM_H_
+#define GLD_SIM_BATCH_FRAME_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/round_circuit.h"
+#include "codes/css_code.h"
+#include "noise/noise_model.h"
+#include "sim/batch_driver.h"
+#include "util/rng.h"
+
+namespace gld {
+
+/**
+ * Bit-packed Pauli-frame backend: kBatchLanes (64) Monte-Carlo shots per
+ * machine word, one X/Z frame word per qubit, driven in lockstep by the
+ * BatchLeakageDriver.
+ *
+ * Each primitive is one or two word-wide AND/XOR operations serving 64
+ * shots at once — the classic batch frame-simulator speedup — while the
+ * per-lane noise streams keep every lane bit-identical to the scalar
+ * `frame` backend's corresponding shot (same master Rng(seed), same
+ * split-per-shot derivation).  `Metrics` produced through the scheduler's
+ * batch path are bit-identical to the scalar frame backend's, which is the
+ * tier-1 cross-backend gate.
+ *
+ * Frame semantics per primitive match LeakFrameSim lane for lane:
+ * measure_z reads the X-frame word without disturbing it, park_leaked is
+ * a no-op (a leaked lane's frame freezes because the driver stops routing
+ * coherent gates at it), and an LRC preserves the serviced lane's frame.
+ */
+class BatchFrameSim final : public BatchLeakageDriverSim {
+  public:
+    BatchFrameSim(const CssCode& code, const RoundCircuit& rc,
+                  const NoiseParams& np, uint64_t seed);
+
+    std::string name() const override { return "batch_frame"; }
+
+  private:
+    // --- BatchStatePrimitives over the packed X/Z frame words. ---
+    void reset_state() override;
+    void apply_pauli(int q, LaneMask xs, LaneMask zs) override;
+    void coherent_cnot(int control, int target, LaneMask lanes) override;
+    void hadamard(int q, LaneMask lanes) override;
+    void reset_z(int q, LaneMask lanes) override;
+    LaneMask measure_z(int q) override;
+    void park_leaked(int q, LaneMask lanes) override;
+
+    std::vector<LaneMask> fx_;  ///< X-frame word per qubit (bit = lane)
+    std::vector<LaneMask> fz_;  ///< Z-frame word per qubit
+};
+
+}  // namespace gld
+
+#endif  // GLD_SIM_BATCH_FRAME_SIM_H_

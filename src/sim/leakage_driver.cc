@@ -5,7 +5,8 @@ namespace gld {
 LeakageDriver::LeakageDriver(const CssCode& code, const RoundCircuit& rc,
                              const NoiseParams& np, Rng noise_rng,
                              StatePrimitives* state)
-    : code_(&code), rc_(&rc), np_(np), rng_(noise_rng), state_(state)
+    : code_(&code), rc_(&rc), np_(np), master_rng_(noise_rng),
+      rng_(noise_rng.split(0)), state_(state)
 {
     const int nq = code.n_qubits();
     leaked_.assign(static_cast<size_t>(nq), 0);
@@ -27,6 +28,11 @@ LeakageDriver::reset_shot()
     std::fill(leaked_.begin(), leaked_.end(), 0);
     std::fill(prev_meas_.begin(), prev_meas_.end(), 0);
     first_round_ = true;
+    // Shot k draws from its own split of the master, so a shot's draw
+    // sequence depends only on (master seed, k) — never on the draw count
+    // of the shots before it.  The batch driver relies on this to replay
+    // 64 shots in lockstep bit-identically (lane k == shot k).
+    rng_ = master_rng_.split(shot_index_++);
     state_->reset_state();
 }
 

@@ -98,9 +98,13 @@ class StatePrimitives {
 class LeakageDriver final : public LeakageOracle {
   public:
     /**
-     * @param noise_rng seeded noise stream; every stochastic decision the
-     *        driver makes draws from it (backends derive it from their
-     *        constructor seed).
+     * @param noise_rng the shot-MASTER stream: shot k of this driver
+     *        draws from noise_rng.split(k), re-derived at every
+     *        reset_shot() (the first shot's stream, split(0), is active
+     *        from construction).  Per-shot streams are what make the
+     *        bit-packed batch driver possible — lane k of a batch replays
+     *        exactly shot k's draw sequence, independent of how many
+     *        draws the other shots consumed (sim/batch_driver.h).
      * @param state the backend's primitives; must outlive the driver.
      */
     LeakageDriver(const CssCode& code, const RoundCircuit& rc,
@@ -114,7 +118,12 @@ class LeakageDriver final : public LeakageOracle {
     LeakageDriver(const LeakageDriver&) = delete;
     LeakageDriver& operator=(const LeakageDriver&) = delete;
 
-    /** Clears flags, measurement history and the backend state. */
+    /**
+     * Clears flags, measurement history and the backend state, and
+     * advances the noise stream to the next shot's split of the master
+     * (shot k draws from master.split(k) regardless of how many draws
+     * earlier shots made).
+     */
     void reset_shot();
 
     /** Raises qubit q's leak flag (fires park_leaked on 0 -> 1). */
@@ -165,7 +174,9 @@ class LeakageDriver final : public LeakageOracle {
     const CssCode* code_;
     const RoundCircuit* rc_;
     NoiseParams np_;
-    Rng rng_;
+    Rng master_rng_;        ///< per-shot streams split off this
+    Rng rng_;               ///< the CURRENT shot's stream
+    uint64_t shot_index_ = 0;  ///< shots started (next reset_shot id)
     StatePrimitives* state_;
 
     std::vector<uint8_t> leaked_;  ///< leak flag per qubit

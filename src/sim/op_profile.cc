@@ -1,0 +1,27 @@
+#include "sim/op_profile.h"
+
+namespace gld {
+
+RoundOpProfile
+profile_round_ops(const CssCode& code, const RoundCircuit& rc,
+                  const NoiseParams& np, const LrcSchedule& lrcs,
+                  uint64_t seed)
+{
+    RoundOpProfile profile;
+    {
+        CountingState state;
+        LeakageDriver driver(code, rc, np, Rng(seed), &state);
+        driver.run_round(LrcSchedule{});
+        profile.quiet = state.counts();
+    }
+    {
+        CountingState state;
+        LeakageDriver driver(code, rc, np, Rng(seed), &state);
+        driver.run_round(lrcs);
+        profile.scheduled = state.counts();
+    }
+    profile.lrc_overhead = profile.scheduled - profile.quiet;
+    return profile;
+}
+
+}  // namespace gld

@@ -75,7 +75,7 @@ class Simulator {
   public:
     virtual ~Simulator() = default;
 
-    /** Human-readable backend name ("frame", "tableau"). */
+    /** Human-readable backend name ("frame", "tableau", "batch_frame"). */
     virtual std::string name() const = 0;
 
     /** Clears all per-shot state for a new shot. */
@@ -122,15 +122,20 @@ class Simulator {
  * The available backends.  kFrame is the paper's Pauli-frame engine (fast,
  * samples Pauli noise exactly); kTableau drives the exact CHP stabilizer
  * tableau through the same round circuit (slower by O(n^2) per
- * measurement; exact-stabilizer states).  Both share the one LeakageDriver
- * for every classical-leakage decision.
+ * measurement; exact-stabilizer states); kBatchFrame packs 64 shots into
+ * one word per qubit and runs them in lockstep through the batch driver —
+ * bit-identical Metrics to kFrame at several times the shots/second
+ * (BM_BackendThroughput measures the real ratio; the per-lane noise
+ * draws both engines must make bound it).  All share the one
+ * LeakageDriver semantics for every classical-leakage decision.
  */
 enum class SimBackend : uint8_t {
     kFrame = 0,
     kTableau = 1,
+    kBatchFrame = 2,
 };
 
-/** Canonical backend name ("frame" / "tableau"). */
+/** Canonical backend name ("frame" / "tableau" / "batch_frame"). */
 const char* backend_name(SimBackend backend);
 
 /** Every known backend, in enum order (the factory's dispatch set). */

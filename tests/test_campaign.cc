@@ -4,6 +4,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <set>
@@ -172,6 +173,107 @@ TEST(ShardPlan, StreamsPartitionExactly)
     EXPECT_THROW(ShardPlan::validate(-1, 3), std::runtime_error);
     EXPECT_THROW(ShardPlan::validate(3, 3), std::runtime_error);
     EXPECT_THROW(ShardPlan::validate(0, 0), std::runtime_error);
+}
+
+// --- CampaignPlan: deterministic cost-balanced LPT assignment. ---
+
+TEST(CampaignPlan, PartitionsEveryStreamExactlyOnceAndDeterministically)
+{
+    CampaignSpec spec = small_spec("plan_exact");
+    spec.codes = {"surface:3", "color:5"};
+    const std::vector<JobSpec> jobs = spec.expand();
+    for (int n_shards : {1, 2, 3, 5}) {
+        SCOPED_TRACE(n_shards);
+        const CampaignPlan plan = CampaignPlan::build(spec, n_shards);
+        const CampaignPlan again = CampaignPlan::build(spec, n_shards);
+        for (const JobSpec& job : jobs) {
+            const int total = ExperimentRunner::n_streams(job.cfg);
+            std::vector<int> seen(static_cast<size_t>(total), 0);
+            for (int shard = 0; shard < n_shards; ++shard) {
+                const std::vector<int>& ss =
+                    plan.streams_for(job.index, shard);
+                // Identical across independent builds (every process
+                // computes the same plan without communicating).
+                EXPECT_EQ(ss, again.streams_for(job.index, shard));
+                EXPECT_TRUE(std::is_sorted(ss.begin(), ss.end()));
+                for (int s : ss) {
+                    ASSERT_GE(s, 0);
+                    ASSERT_LT(s, total);
+                    ++seen[static_cast<size_t>(s)];
+                }
+            }
+            for (int s = 0; s < total; ++s)
+                EXPECT_EQ(seen[static_cast<size_t>(s)], 1)
+                    << "job " << job.index << " stream " << s;
+        }
+    }
+}
+
+TEST(CampaignPlan, LptBalancesMixedBackendCosts)
+{
+    // Two campaigns' worth of heterogeneity in one: a tableau job costs
+    // ~n^2/64 x a frame job per stream, so round-robin by stream id
+    // would load shard 0 and shard 1 equally ONLY in expectation.  The
+    // LPT plan's cost spread must be bounded by one item (the classic
+    // LPT guarantee: max load <= min load + max item).
+    CampaignSpec frame_spec = small_spec("plan_frame");
+    frame_spec.compute_ler = false;
+    for (SimBackend b :
+         {SimBackend::kFrame, SimBackend::kTableau,
+          SimBackend::kBatchFrame}) {
+        SCOPED_TRACE(backend_name(b));
+        CampaignSpec spec = frame_spec;
+        spec.backend = b;
+        const int n_shards = 3;
+        const CampaignPlan plan = CampaignPlan::build(spec, n_shards);
+        double max_cost = plan.shard_cost_units[0];
+        double min_cost = plan.shard_cost_units[0];
+        double max_item = 0.0;
+        const std::vector<JobSpec> jobs = spec.expand();
+        for (const JobSpec& job : jobs) {
+            const double factor = backend_cost_factor(
+                b, plan.job_qubits[static_cast<size_t>(job.index)]);
+            for (int s = 0;
+                 s < ExperimentRunner::n_streams(job.cfg); ++s) {
+                const double c =
+                    ExperimentRunner::stream_shots(job.cfg, s) *
+                    static_cast<double>(job.cfg.rounds) * factor;
+                max_item = std::max(max_item, c);
+            }
+        }
+        for (double c : plan.shard_cost_units) {
+            max_cost = std::max(max_cost, c);
+            min_cost = std::min(min_cost, c);
+        }
+        EXPECT_LE(max_cost, min_cost + max_item + 1e-9)
+            << max_cost << " vs " << min_cost;
+        EXPECT_GT(max_cost, 0.0);
+    }
+}
+
+TEST(CampaignPlan, ShardMergeStaysBitIdenticalUnderLpt)
+{
+    // The LPT assignment must not perturb the merge contract: running
+    // every shard's planned stream set and merging reproduces run()
+    // exactly, for a shard count that forces uneven stream splits.
+    const CampaignSpec spec = small_spec("plan_merge");
+    const int n_shards = 3;
+    const std::string dir = fresh_dir("plan_merge");
+    for (int shard = 0; shard < n_shards; ++shard)
+        run_shard(spec, shard, n_shards, dir, /*threads=*/2);
+    const std::vector<Metrics> merged =
+        merge_campaign(spec, n_shards, dir);
+
+    const std::vector<JobSpec> jobs = spec.expand();
+    ASSERT_EQ(merged.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].policy);
+        auto code = make_code(jobs[i].code);
+        const ExperimentRunner runner(code->ctx, jobs[i].cfg);
+        const Metrics direct =
+            runner.run(make_policy(jobs[i].policy, jobs[i].cfg.np));
+        expect_metrics_identical(direct, merged[i]);
+    }
 }
 
 TEST(Merge, ExactlyRepresentableTotalsAreAssociative)

@@ -176,12 +176,17 @@ TEST(Determinism, MultiBlockStreamsBitIdenticalAcrossThreads)
     ExperimentConfig cfg = base_config();
     cfg.np = NoiseParams::standard(1e-3, 0.1);
     cfg.rounds = 4;
-    cfg.shots = 80;  // 2 streams x 40 shots = blocks of 32 + 8 each
+    cfg.shots = 160;  // 2 streams x 80 shots = blocks of 64 + 16 each
     cfg.seed = 0xB10C5EEDull;
     cfg.leakage_sampling = true;
     cfg.record_dlp_series = true;
     cfg.rng_streams = 2;
     ASSERT_EQ(ExperimentRunner::stream_blocks(cfg, 0), 2);
+    // The final block is partial (80 % 64 = 16): on the batch backend it
+    // runs as a 16-lane batch with the trailing 48 lanes masked off.
+    ASSERT_NE(ExperimentRunner::stream_shots(cfg, 0) %
+                  ExperimentRunner::kShotBlock,
+              0);
 
     const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
     const Metrics base = run_with_threads(ctx, cfg, 1, factory);
@@ -213,6 +218,43 @@ TEST(Determinism, DefaultConfigSchedulesMoreThan8WorkUnits)
     big.shots = 10000;
     EXPECT_GT(ExperimentRunner::n_work_units(big),
               static_cast<long>(big.rng_streams));
+}
+
+// The bit-packed backend's contract is stronger than per-backend
+// determinism: its Metrics must equal the scalar frame backend's BIT for
+// BIT (lane k of a batch replays shot k draw for draw), at any thread
+// count, including multi-block streams and a partial final batch.  This
+// runs regardless of GLD_BACKEND — it IS the cross-backend gate, in the
+// reproducibility suite where a scheduler regression would surface.
+TEST(Determinism, BatchFrameBitIdenticalToFrameAcrossThreads)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(2e-3, 0.5);
+    cfg.rounds = 6;
+    cfg.shots = 150;  // 2 streams x 75: blocks of 64 + a partial 11-lane
+    cfg.seed = 0xBA7C4DE7ull;
+    cfg.leakage_sampling = true;
+    cfg.record_dlp_series = true;
+    cfg.compute_ler = true;
+    cfg.rng_streams = 2;
+    ASSERT_EQ(ExperimentRunner::stream_blocks(cfg, 0), 2);
+    ASSERT_NE(ExperimentRunner::stream_shots(cfg, 0) %
+                  ExperimentRunner::kShotBlock,
+              0);
+
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+    cfg.backend = SimBackend::kFrame;
+    const Metrics frame = run_with_threads(ctx, cfg, 1, factory);
+    cfg.backend = SimBackend::kBatchFrame;
+    for (int threads : {1, 8, 16}) {
+        SCOPED_TRACE(threads);
+        expect_metrics_identical(
+            frame, run_with_threads(ctx, cfg, threads, factory));
+    }
 }
 
 // The speculation policies draw from their own seeded RNG streams; make

@@ -70,6 +70,39 @@ TEST(TimingModel, AlwaysLrcDepthIncreaseNearTwentyPercent)
     EXPECT_NEAR(tm.depth_increase(rc, 1.0), 0.20, 0.06);
 }
 
+TEST(TimingModel, ProfileGateTimeConsumesDriverOpCounts)
+{
+    // The driver-level op profile feeds the timing model directly: the
+    // quiet round's serial gate work is the circuit census priced by the
+    // latency table, and the check-LRC overhead prices as that gadget's
+    // extra primitives — no hand-maintained gate counts anywhere.
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    NoiseParams np;
+    np.p = 0.0;
+    np.leak_ratio = 0.0;
+    np.lrc_leak_prob = 0.0;
+    LrcSchedule sched;
+    sched.checks = {1};
+    const RoundOpProfile profile = profile_round_ops(code, rc, np, sched);
+
+    const TimingModel tm;
+    const TimingParams& tp = tm.params();
+    EXPECT_DOUBLE_EQ(
+        tm.profile_gate_ns(profile.quiet),
+        static_cast<double>(profile.quiet.cnots) * tp.t_cnot_ns +
+            static_cast<double>(profile.quiet.hadamards) * tp.t_h_ns +
+            static_cast<double>(profile.quiet.measures) *
+                tp.t_meas_reset_ns);
+    EXPECT_GT(tm.profile_gate_ns(profile.quiet), 0.0);
+    // The check gadget adds only a reset, which rides in the
+    // measurement/reset window: zero extra serial gate time.
+    EXPECT_DOUBLE_EQ(tm.profile_gate_ns(profile.lrc_overhead), 0.0);
+    // Work model vs critical-path model: total gate work of the quiet
+    // round strictly exceeds the scheduled round's critical path.
+    EXPECT_GT(tm.profile_gate_ns(profile.quiet), tm.base_round_ns(rc));
+}
+
 TEST(TimingModel, LrcLatencyProportionalToCount)
 {
     TimingModel tm;

@@ -191,8 +191,10 @@ TEST(Serialize, ConfigHashStability)
     // existing checkpoint file becomes stale.  (v2: the serialized form
     // gained the backend field, which retired the v1 golden.  v3: the
     // shared LeakageDriver changed the frame backend's draw sequence, so
-    // the version bump retired every v2 checkpoint — and the v2 golden.)
-    EXPECT_EQ(config_hash(cfg), 0x051b8265fc462c7eull);
+    // the version bump retired every v2 checkpoint — and the v2 golden.
+    // v4: per-shot driver RNG streams + the 64-shot scheduler block for
+    // the batch backend retired every v3 checkpoint and golden.)
+    EXPECT_EQ(config_hash(cfg), 0xe5ead93444415e27ull);
 
     // Round-tripping must not change the hash (resume depends on it).
     const ExperimentConfig back =
@@ -217,8 +219,14 @@ TEST(Serialize, ConfigHashStability)
     // (switching backends never resumes the other backend's checkpoints).
     ExperimentConfig c4 = cfg;
     c4.backend = SimBackend::kTableau;
-    EXPECT_EQ(config_hash(c4), 0x34ad3640c9843eedull);
+    EXPECT_EQ(config_hash(c4), 0x4f1b42be14c1783cull);
     EXPECT_NE(config_hash(c4), config_hash(cfg));
+    // batch_frame is a distinct backend hash-wise too, even though its
+    // results are bit-identical to frame: resume stays backend-honest.
+    ExperimentConfig c5 = cfg;
+    c5.backend = SimBackend::kBatchFrame;
+    EXPECT_NE(config_hash(c5), config_hash(cfg));
+    EXPECT_NE(config_hash(c5), config_hash(c4));
 }
 
 TEST(Serialize, MetricsRoundTripIsBitExact)

@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "codes/surface_code.h"
+#include "sim/batch_driver.h"
+#include "sim/op_profile.h"
 #include "sim/simulator.h"
 
 namespace gld {
@@ -321,6 +324,101 @@ TEST(LeakageDriver, LeakedFinalReadoutSkipsMeasurePrimitive)
     }
 }
 
+// --- Driver-level instrumentation: the counting decorator + profiles. ---
+
+TEST(OpProfile, QuietRoundCountsEqualTheScheduledCircuitGolden)
+{
+    // The golden-count gate: a noiseless, leak-free round's primitive
+    // counts are exactly the scheduled circuit's op census — one
+    // coherent action per gate, one readout per check, no Paulis, no
+    // parks.  This pins the instrumentation AND the circuit's gate
+    // budget per code family in one place.
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    long cnots = 0, hs = 0, resets = 0, measures = 0;
+    for (const Op& op : rc.ops()) {
+        switch (op.type) {
+          case OpType::kCnot: ++cnots; break;
+          case OpType::kH: ++hs; break;
+          case OpType::kResetZ: ++resets; break;
+          case OpType::kMeasure: ++measures; break;
+        }
+    }
+    const RoundOpProfile profile =
+        profile_round_ops(code, rc, noiseless(), LrcSchedule{});
+    EXPECT_EQ(profile.quiet.cnots, cnots);
+    EXPECT_EQ(profile.quiet.hadamards, hs);
+    EXPECT_EQ(profile.quiet.resets, resets);
+    EXPECT_EQ(profile.quiet.measures, measures);
+    EXPECT_EQ(profile.quiet.paulis, 0);
+    EXPECT_EQ(profile.quiet.parks, 0);
+    EXPECT_EQ(profile.quiet.resets_state, 0);
+    // d=3 golden values: every data qubit meets <= 4 checks, every check
+    // has <= 4 CNOTs; the census is a stable property of the scheduler.
+    EXPECT_EQ(cnots, 24);
+    EXPECT_EQ(measures, code.n_checks());
+    EXPECT_EQ(resets, code.n_checks());
+    // No LRCs scheduled: zero gadget overhead, bit for bit.
+    EXPECT_TRUE(profile.lrc_overhead == OpCounts{});
+    EXPECT_TRUE(profile.scheduled == profile.quiet);
+}
+
+TEST(OpProfile, CheckLrcOverheadIsOneResetGolden)
+{
+    // A check-ancilla LRC gadget is a reset-first gadget: exactly one
+    // extra reset_z primitive per scheduled check, nothing else, under
+    // noiseless gadget noise.
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    LrcSchedule sched;
+    sched.checks = {0, 2};
+    const RoundOpProfile profile =
+        profile_round_ops(code, rc, noiseless(), sched);
+    OpCounts want;
+    want.resets = 2;
+    EXPECT_TRUE(profile.lrc_overhead == want);
+}
+
+TEST(OpProfile, CountingStateForwardsToInnerBackend)
+{
+    // Decorating a real primitives provider must not change what the
+    // driver does — the decorated run produces the same round result,
+    // and the counts match the undecorated golden trace.
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    ScriptedState inner;
+    CountingState counting(&inner);
+    LeakageDriver driver(code, rc, noiseless(), Rng(1), &counting);
+    driver.run_round(LrcSchedule{});
+    EXPECT_EQ(inner.log, quiet_round_golden(rc));
+    EXPECT_EQ(counting.counts().cnots,
+              static_cast<long>(std::count_if(
+                  rc.ops().begin(), rc.ops().end(), [](const Op& op) {
+                      return op.type == OpType::kCnot;
+                  })));
+    counting.reset_counts();
+    EXPECT_TRUE(counting.counts() == OpCounts{});
+}
+
+TEST(OpProfile, MalfunctionPaulisShowUpInTheProfile)
+{
+    // A parked leaked data qubit malfunctions its CNOTs: the profile's
+    // pauli count exposes the disturbance load — the per-gadget cost
+    // signal the hw models consume.
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    NoiseParams np = noiseless();
+    np.mobility = 0.0;
+    CountingState state;
+    LeakageDriver driver(code, rc, np, Rng(7), &state);
+    driver.set_leak(4);
+    state.reset_counts();
+    driver.run_round(LrcSchedule{});
+    EXPECT_GT(state.counts().paulis, 0);
+    EXPECT_EQ(state.counts().cnots,
+              24 - static_cast<long>(code.data_adjacency()[4].size()));
+}
+
 // --- Drift gate: the real backends must BE driver-backed simulators. ---
 
 TEST(LeakageDriverDrift, EveryKnownBackendRoutesThroughTheSharedDriver)
@@ -331,19 +429,26 @@ TEST(LeakageDriverDrift, EveryKnownBackendRoutesThroughTheSharedDriver)
     for (SimBackend b : known_backends()) {
         SCOPED_TRACE(backend_name(b));
         const auto sim = make_simulator(b, code, rc, np, 1);
-        // Structural: the backend derives from LeakageDriverSim — its
-        // round/leak semantics ARE the shared driver's, not a copy.
+        // Structural: the backend derives from LeakageDriverSim (scalar
+        // driver) or BatchLeakageDriverSim (its lockstep twin) — its
+        // round/leak semantics ARE a shared driver's, not a copy.
         const auto* ds = dynamic_cast<const LeakageDriverSim*>(sim.get());
-        ASSERT_NE(ds, nullptr)
-            << "backend does not route through LeakageDriver";
-        // Its ground-truth oracle is the driver object itself.
-        EXPECT_EQ(&sim->leak_oracle(),
-                  static_cast<const LeakageOracle*>(&ds->driver()));
+        const auto* bs =
+            dynamic_cast<const BatchLeakageDriverSim*>(sim.get());
+        ASSERT_TRUE(ds != nullptr || bs != nullptr)
+            << "backend routes through neither leakage driver";
+        // Its ground-truth oracle is the driver's own flag state.
+        if (ds != nullptr) {
+            EXPECT_EQ(&sim->leak_oracle(),
+                      static_cast<const LeakageOracle*>(&ds->driver()));
+        } else {
+            EXPECT_EQ(&sim->leak_oracle(), &bs->driver().lane_oracle(0));
+        }
         // And interface-level leak state is the driver's flag state.
         sim->inject_data_leak(1);
-        EXPECT_TRUE(ds->driver().data_leaked(1));
+        EXPECT_TRUE(sim->leak_oracle().data_leaked(1));
         sim->clear_leak(1);
-        EXPECT_FALSE(ds->driver().data_leaked(1));
+        EXPECT_FALSE(sim->leak_oracle().data_leaked(1));
     }
 }
 

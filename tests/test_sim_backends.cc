@@ -22,7 +22,8 @@ namespace {
 using test::expect_metrics_identical;
 
 constexpr SimBackend kBackends[] = {SimBackend::kFrame,
-                                    SimBackend::kTableau};
+                                    SimBackend::kTableau,
+                                    SimBackend::kBatchFrame};
 
 NoiseParams
 noiseless()
@@ -45,6 +46,7 @@ TEST(SimBackends, NamesRoundTrip)
 {
     EXPECT_EQ(backend_from_name("frame"), SimBackend::kFrame);
     EXPECT_EQ(backend_from_name("tableau"), SimBackend::kTableau);
+    EXPECT_EQ(backend_from_name("batch_frame"), SimBackend::kBatchFrame);
     for (SimBackend b : kBackends)
         EXPECT_EQ(backend_from_name(backend_name(b)), b);
     EXPECT_THROW(backend_from_name("stim"), std::runtime_error);
@@ -59,7 +61,9 @@ TEST(SimBackends, NamesRoundTrip)
 TEST(SimBackends, KnownBackendsCoverTheEnumAndTheNameList)
 {
     const std::vector<SimBackend>& all = known_backends();
-    ASSERT_EQ(all.size(), 2u);
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_NE(std::find(all.begin(), all.end(), SimBackend::kBatchFrame),
+              all.end());
     for (SimBackend b : kBackends)
         EXPECT_NE(std::find(all.begin(), all.end(), b), all.end());
     const std::string names = known_backend_names();
@@ -130,6 +134,11 @@ TEST(SimBackends, CostFactorIsFrameNormalizedAndQuadraticForTableau)
         EXPECT_GT(f, prev);
         prev = f;
     }
+    // The bit-packed backend serves 64 shots per driver pass: ~1/64 of a
+    // frame shot, independent of code size.
+    for (int n : {8, 17, 100, 1000})
+        EXPECT_DOUBLE_EQ(backend_cost_factor(SimBackend::kBatchFrame, n),
+                         1.0 / 64.0);
 }
 
 TEST(SimBackends, NoiselessSyndromesAreDeterministicOnBothBackends)
@@ -193,7 +202,8 @@ TEST(SimBackends, InjectedXSignatureAgreesAcrossBackends)
             for (uint8_t d : quiet_round(sim.get()))
                 EXPECT_EQ(d, 0);
         }
-        EXPECT_EQ(sig[0], sig[1]);
+        for (size_t i = 1; i < sig.size(); ++i)
+            EXPECT_EQ(sig[0], sig[i]) << "backend " << backend_name(kBackends[i]);
     }
 }
 
@@ -211,7 +221,8 @@ TEST(SimBackends, InjectedZSignatureAgreesAcrossBackends)
             sim->inject_z(q);
             sig.push_back(quiet_round(sim.get()));
         }
-        EXPECT_EQ(sig[0], sig[1]);
+        for (size_t i = 1; i < sig.size(); ++i)
+            EXPECT_EQ(sig[0], sig[i]) << "backend " << backend_name(kBackends[i]);
     }
 }
 
@@ -229,7 +240,8 @@ TEST(SimBackends, InjectedXSignatureAgreesOnColorCode)
             sim->inject_x(q);
             sig.push_back(quiet_round(sim.get()));
         }
-        EXPECT_EQ(sig[0], sig[1]);
+        for (size_t i = 1; i < sig.size(); ++i)
+            EXPECT_EQ(sig[0], sig[i]) << "backend " << backend_name(kBackends[i]);
     }
 }
 
@@ -370,6 +382,157 @@ TEST(SimBackends, NoiselessTableauLerIsZero)
     const Metrics m = runner.run(PolicyZoo::no_lrc());
     EXPECT_EQ(m.decoded_shots, cfg.shots);
     EXPECT_EQ(m.logical_errors, 0);
+}
+
+// --- The batch gate: frame vs batch_frame must be BIT-identical. ---
+//
+// The bit-packed backend's whole correctness story is that lane k of a
+// batch replays the scalar frame backend's shot k draw for draw, so the
+// aggregated Metrics of any config must match frame's exactly — not
+// statistically, bitwise.  Every noisy code path is exercised: LRC-heavy
+// policies, the oracle policy (per-lane oracle views), MLR, decoding,
+// leakage sampling, multi-block streams and a partial final batch.
+
+Metrics
+run_backend(const CodeContext& ctx, ExperimentConfig cfg, SimBackend b,
+            const PolicyFactory& factory, int threads = 1)
+{
+    cfg.backend = b;
+    cfg.threads = threads;
+    return ExperimentRunner(ctx, cfg).run(factory);
+}
+
+TEST(BatchFrameBitEquality, SurfaceEraserWithLerAndSeries)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(2e-3, 0.5);  // busy leak dynamics
+    cfg.rounds = 8;
+    cfg.shots = 100;  // streams of 12/13 shots: every batch is partial
+    cfg.seed = 0xBA7C4F5EEDull;
+    cfg.leakage_sampling = true;
+    cfg.record_dlp_series = true;
+    cfg.compute_ler = true;
+    cfg.rng_streams = 8;
+
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+    const Metrics frame =
+        run_backend(ctx, cfg, SimBackend::kFrame, factory);
+    EXPECT_GT(frame.dlp_total, 0.0);
+    EXPECT_GT(frame.lrc_data_total + frame.lrc_check_total, 0.0);
+    for (int threads : {1, 8, 16}) {
+        SCOPED_TRACE(threads);
+        expect_metrics_identical(
+            frame, run_backend(ctx, cfg, SimBackend::kBatchFrame, factory,
+                               threads));
+    }
+}
+
+TEST(BatchFrameBitEquality, MultiBlockStreamsAndPartialFinalBatch)
+{
+    // One stream of 150 shots: batches of 64, 64 and 22 — the padded
+    // final batch must not perturb the active lanes.
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(2e-3, 1.0);
+    cfg.rounds = 5;
+    cfg.shots = 150;
+    cfg.seed = 0xB10C64B17ull;
+    cfg.leakage_sampling = true;
+    cfg.record_dlp_series = true;
+    cfg.rng_streams = 1;
+    ASSERT_EQ(ExperimentRunner::stream_blocks(cfg, 0), 3);
+    ASSERT_NE(cfg.shots % ExperimentRunner::kShotBlock, 0);
+
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+    const Metrics frame =
+        run_backend(ctx, cfg, SimBackend::kFrame, factory);
+    for (int threads : {1, 8}) {
+        SCOPED_TRACE(threads);
+        expect_metrics_identical(
+            frame, run_backend(ctx, cfg, SimBackend::kBatchFrame, factory,
+                               threads));
+    }
+}
+
+TEST(BatchFrameBitEquality, IdealOracleReadsPerLaneTruth)
+{
+    // The oracle policy on the batch path reads a per-lane oracle view;
+    // a lane seeing any other lane's truth breaks FN/FP == frame.
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(2e-3, 1.0);
+    cfg.rounds = 6;
+    cfg.shots = 96;
+    cfg.seed = 0x1DEA15EEDull;
+    cfg.leakage_sampling = true;
+    cfg.rng_streams = 1;  // one 64-lane batch + one 32-lane batch
+
+    const Metrics frame =
+        run_backend(ctx, cfg, SimBackend::kFrame, PolicyZoo::ideal());
+    const Metrics batch = run_backend(ctx, cfg, SimBackend::kBatchFrame,
+                                      PolicyZoo::ideal());
+    EXPECT_DOUBLE_EQ(batch.fn_total, 0.0);
+    EXPECT_DOUBLE_EQ(batch.fp_total, 0.0);
+    EXPECT_GT(batch.tp_total, 0.0);
+    expect_metrics_identical(frame, batch);
+}
+
+TEST(BatchFrameBitEquality, ColorCodeGladiatorPolicy)
+{
+    // A different circuit shape (self-dual color code) and the stateful
+    // table-driven policy, 64 instances of which run lane-parallel.
+    const CssCode code = ColorCode::make(5);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(1e-3, 0.5);
+    cfg.rounds = 6;
+    cfg.shots = 80;
+    cfg.seed = 0xC0104B17ull;
+    cfg.leakage_sampling = true;
+    cfg.rng_streams = 4;
+
+    const PolicyFactory factory =
+        PolicyZoo::gladiator(/*use_mlr=*/true, cfg.np);
+    expect_metrics_identical(
+        run_backend(ctx, cfg, SimBackend::kFrame, factory),
+        run_backend(ctx, cfg, SimBackend::kBatchFrame, factory, 4));
+}
+
+TEST(BatchFrameBitEquality, ScalarInterfaceCallsMatchFrameDrawForDraw)
+{
+    // Through the scalar Simulator API a batch sim runs one-lane batches;
+    // with the same seed the per-round results must equal frame's exactly
+    // (same master stream, same split-per-shot derivation).
+    const Harness h(SurfaceCode::make(3));
+    const NoiseParams np = NoiseParams::standard(5e-3, 1.0);
+    const auto frame =
+        make_simulator(SimBackend::kFrame, h.code, h.rc, np, 99);
+    const auto batch =
+        make_simulator(SimBackend::kBatchFrame, h.code, h.rc, np, 99);
+    const LrcSchedule none;
+    for (int shot = 0; shot < 4; ++shot) {
+        frame->reset_shot();
+        batch->reset_shot();
+        for (int r = 0; r < 6; ++r) {
+            const RoundResult a = frame->run_round(none);
+            const RoundResult b = batch->run_round(none);
+            EXPECT_EQ(a.meas_flip, b.meas_flip);
+            EXPECT_EQ(a.detector, b.detector);
+            EXPECT_EQ(a.mlr_flag, b.mlr_flag);
+        }
+        EXPECT_EQ(frame->final_data_measure(),
+                  batch->final_data_measure());
+        EXPECT_EQ(frame->n_data_leaked(), batch->n_data_leaked());
+        EXPECT_EQ(frame->n_check_leaked(), batch->n_check_leaked());
+    }
 }
 
 TEST(SimBackends, BackendsAgreeStatisticallyOnDlp)

@@ -17,7 +17,6 @@
 
 #include <cstdio>
 #include <cstring>
-#include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -30,20 +29,24 @@
 using namespace gld;
 using campaign::CampaignSpec;
 using campaign::JobSpec;
-using campaign::ShardPlan;
 
 namespace {
 
 int
 usage(const char* argv0)
 {
+    // The backend list comes from the one kBackendTable behind
+    // known_backend_names(): registering a backend updates this help
+    // text, the error messages and the factory together — no
+    // hand-duplicated name or cost strings in the CLI.
     std::fprintf(
         stderr,
         "usage: %s <command> [options]\n"
         "\n"
         "commands:\n"
         "  init                 print an example campaign spec to stdout\n"
-        "  plan                 expand the grid; show jobs and shard load\n"
+        "  plan                 expand the grid; show jobs and the\n"
+        "                       cost-balanced (LPT) shard loads\n"
         "  run                  run one shard, writing result files\n"
         "  merge                merge all shards' results (stream order)\n"
         "  report               print the aggregated per-job table\n"
@@ -57,11 +60,11 @@ usage(const char* argv0)
         "  --out <dir>          result directory (default: ./campaign_out)\n"
         "  --threads <T>        worker threads per job (default: auto)\n"
         "  -j <N>               jobs run concurrently (run/demo; default 1)\n"
-        "  --backend <name>     simulation backend: frame | tableau\n"
+        "  --backend <name>     simulation backend: %s\n"
         "                       (overrides the spec; changes every job's\n"
         "                       config hash, so results never mix)\n"
         "  -v                   verbose per-job progress\n",
-        argv0);
+        argv0, known_backend_names().c_str());
     return 2;
 }
 
@@ -169,19 +172,14 @@ cmd_plan(const Args& a)
     spec.validate();
     const std::vector<JobSpec> jobs = spec.expand();
 
-    // Code size per distinct spec string, for the backend cost model:
-    // a tableau shot on an n-qubit code costs ~n^2/64 frame shots, so raw
-    // shot counts would misstate mixed-backend / mixed-code shard loads.
-    std::map<std::string, int> n_qubits_of;
-    for (const JobSpec& job : jobs) {
-        if (n_qubits_of.count(job.code) == 0)
-            n_qubits_of[job.code] =
-                campaign::make_code(job.code)->code.n_qubits();
-    }
-    const auto cost_of = [&](const JobSpec& job, long shots) {
-        return campaign::job_cost_units(job, n_qubits_of.at(job.code),
-                                        shots);
-    };
+    // The deterministic cost-balanced plan run_shard executes: per-job
+    // qubit counts, per-stream cost units and the LPT stream->shard
+    // assignment all come from this one object, so the printed loads are
+    // exactly what `run --shard i/N` will do.  The per-job "Cost x"
+    // column is backend_cost_factor straight from the backend table —
+    // one source of truth, no factor strings duplicated here.
+    const campaign::CampaignPlan plan =
+        campaign::CampaignPlan::build(spec, a.n_shards);
 
     std::printf("campaign \"%s\" [%s backend]: %zu job(s), %d shard(s)\n\n",
                 spec.name.c_str(), backend_name(spec.backend), jobs.size(),
@@ -195,28 +193,23 @@ cmd_plan(const Args& a)
                    std::to_string(job.cfg.shots),
                    std::to_string(job.cfg.rounds),
                    std::to_string(ExperimentRunner::n_streams(job.cfg)),
-                   TablePrinter::fmt(backend_cost_factor(
-                                         job.cfg.backend,
-                                         n_qubits_of.at(job.code)),
-                                     1),
+                   TablePrinter::fmt(
+                       backend_cost_factor(
+                           job.cfg.backend,
+                           plan.job_qubits[static_cast<size_t>(
+                               job.index)]),
+                       job.cfg.backend == SimBackend::kBatchFrame ? 3 : 1),
                    io::u64_to_hex(job.cfg.seed)});
     }
     t.print();
 
-    std::printf("\nper-shard load (cost unit: one frame-backend round of "
-                "one shot):\n");
+    std::printf("\nper-shard load, greedy-LPT balanced (cost unit: one "
+                "frame-backend round of one shot):\n");
     for (int shard = 0; shard < a.n_shards; ++shard) {
-        long shots = 0;
-        double cost = 0.0;
-        for (const JobSpec& job : jobs) {
-            long job_shots = 0;
-            for (int s : ShardPlan::streams_for(job.cfg, shard, a.n_shards))
-                job_shots += ExperimentRunner::stream_shots(job.cfg, s);
-            shots += job_shots;
-            cost += cost_of(job, job_shots);
-        }
-        std::printf("  shard %d/%d: %ld shot(s), %.0f cost unit(s)\n",
-                    shard, a.n_shards, shots, cost);
+        std::printf("  shard %d/%d: %ld shot(s), %.2f cost unit(s)\n",
+                    shard, a.n_shards,
+                    plan.shard_shots[static_cast<size_t>(shard)],
+                    plan.shard_cost_units[static_cast<size_t>(shard)]);
     }
     return 0;
 }

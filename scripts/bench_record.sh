@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Record backend throughput over time: runs the BM_BackendThroughput
+# microbenchmark (shots/second per simulation backend, d=5 surface code,
+# the bench/micro_speculation.cc configuration) and appends one record to
+# BENCH_backend_throughput.json at the repo root — the committed
+# trajectory a perf PR cites to prove its speedup and a regression hunt
+# bisects over.
+#
+# Usage:
+#   scripts/bench_record.sh              # run, append, git-commit the file
+#   scripts/bench_record.sh --no-commit  # run and append only
+#
+# Each record: {git_rev, date, num_cpus, min_time_s, shots_per_second:
+# {frame: ..., batch_frame: ...}}.  The file is a JSON array, oldest
+# first.  Throughput is machine-dependent — compare records from the same
+# host (num_cpus is recorded to make foreign records obvious).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+COMMIT=1
+if [[ "${1:-}" == "--no-commit" ]]; then
+    COMMIT=0
+fi
+
+OUT_FILE="BENCH_backend_throughput.json"
+BENCH_BIN="build/micro_speculation"
+MIN_TIME="${GLD_BENCH_MIN_TIME:-0.5}"
+
+if [[ ! -x "${BENCH_BIN}" ]]; then
+    echo "error: ${BENCH_BIN} not built (cmake --build build -j)" >&2
+    exit 1
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "${RAW}"' EXIT
+"${BENCH_BIN}" --benchmark_filter='BM_BackendThroughput' \
+    --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
+    > "${RAW}"
+
+GIT_REV="$(git rev-parse --short HEAD)" \
+MIN_TIME="${MIN_TIME}" \
+python3 - "${RAW}" "${OUT_FILE}" <<'EOF'
+import json
+import os
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+record = {
+    "git_rev": os.environ["GIT_REV"],
+    "date": raw["context"]["date"],
+    "num_cpus": raw["context"]["num_cpus"],
+    "min_time_s": float(os.environ["MIN_TIME"]),
+    "shots_per_second": {
+        b["label"]: round(b["items_per_second"], 1)
+        for b in raw["benchmarks"]
+        if b.get("run_type") == "iteration" and "label" in b
+    },
+}
+if not record["shots_per_second"]:
+    sys.exit("error: no BM_BackendThroughput results in benchmark output")
+
+history = []
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        history = json.load(f)
+history.append(record)
+with open(out_path, "w") as f:
+    json.dump(history, f, indent=2)
+    f.write("\n")
+
+per_backend = ", ".join(
+    f"{k}: {v:,.0f}" for k, v in record["shots_per_second"].items())
+print(f"recorded {record['git_rev']} — shots/s {{{per_backend}}}")
+EOF
+
+if [[ "${COMMIT}" == "1" ]]; then
+    git add "${OUT_FILE}"
+    git commit -m "Record backend throughput at $(git rev-parse --short HEAD)" \
+        -- "${OUT_FILE}"
+fi

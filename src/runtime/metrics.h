@@ -1,7 +1,10 @@
 #ifndef GLD_RUNTIME_METRICS_H_
 #define GLD_RUNTIME_METRICS_H_
 
+#include <string>
 #include <vector>
+
+#include "stats/stats.h"
 
 namespace gld {
 
@@ -82,7 +85,53 @@ struct Metrics {
                          static_cast<double>(decoded_shots)
                    : 0.0;
     }
+
+    // --- Pairwise-comparison views (the referee's inputs). ---
+    //
+    // Each metric the cross-backend referee tests is exposed as a
+    // stats::RateSample — events out of well-defined trials — so
+    // gld_campaign verify, the test suites and any bench gate all feed
+    // the SAME samples into the same stats:: tests.
+    //
+    // The trial unit matters for calibration.  LER is a true binomial
+    // (decoded shots are independent).  FN/FP/DLP events, however,
+    // cluster heavily across the ROUNDS of one shot (a persistently
+    // leaked qubit is false-negatived, or LRC'd, round after round), so
+    // a per-qubit-ROUND binomial understates their variance and inflates
+    // z-scores under the null (measured: z std ~1.6 for FP).  These
+    // samples therefore treat each (shot, data qubit) TRAJECTORY as one
+    // trial whose value is the fraction of rounds the event held:
+    // events = total / rounds_per_shot, trials = shots x n_data.  The
+    // observed rate is unchanged, and because a [0, 1]-valued variable
+    // with mean p has variance at most p(1-p), the pooled z-test over
+    // these trials is conservative under ARBITRARY round-to-round
+    // clustering — the safe direction for a correctness gate.
+    // Per-qubit metrics need the code's qubit counts (a Metrics does
+    // not know its code).
+
+    /** Logical errors out of decoded shots (a true binomial). */
+    stats::RateSample ler_sample() const;
+    /** Per-round FN fraction over shot x data-qubit trajectories. */
+    stats::RateSample fn_sample(int n_data) const;
+    /** Per-round FP fraction over shot x data-qubit trajectories. */
+    stats::RateSample fp_sample(int n_data) const;
+    /** Per-round DLP fraction over shot x data-qubit trajectories. */
+    stats::RateSample dlp_sample(int n_data) const;
+    /** Per-round check-leak fraction over shot x check trajectories. */
+    stats::RateSample check_leak_sample(int n_checks) const;
 };
+
+/**
+ * Bit-exact pairwise comparison: returns one human-readable line per
+ * field whose value differs between `a` and `b` ("fn_total (3 vs 4)"),
+ * comparing doubles by IEEE-754 bit pattern — 0.1 + 0.2 style drift
+ * counts as a difference.  Empty result == bit-identical Metrics.  This
+ * is the ONE definition of Metrics equality: the verify referee's
+ * bit-exact mode and the test suites' expect_metrics_identical both
+ * call it.
+ */
+std::vector<std::string> metrics_bit_diff(const Metrics& a,
+                                          const Metrics& b);
 
 }  // namespace gld
 

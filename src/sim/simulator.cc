@@ -12,20 +12,28 @@ namespace gld {
 namespace {
 
 /**
- * The one backend table: enum value + canonical name.  backend_name,
- * backend_from_name, known_backends and make_simulator all derive from it,
- * so a new backend registers exactly once and every error message lists it
- * automatically.
+ * The one backend table: enum value + canonical name + RNG contract id.
+ * backend_name, backend_from_name, known_backends, backend_rng_contract
+ * and make_simulator all derive from it, so a new backend registers
+ * exactly once and every error message lists it automatically.
+ *
+ * rng_contract groups backends that replay the SAME (seed, stream,
+ * block) draw sequence: frame and batch_frame share contract 0 (lane k
+ * of a batch is scalar shot k draw for draw), so their Metrics are
+ * bit-identical by construction and the verify referee compares them
+ * bit-exactly.  The tableau engine draws its own measurement-collapse
+ * randomness (contract 1) and agrees only statistically.
  */
 struct BackendEntry {
     SimBackend backend;
     const char* name;
+    int rng_contract;
 };
 
 constexpr BackendEntry kBackendTable[] = {
-    {SimBackend::kFrame, "frame"},
-    {SimBackend::kTableau, "tableau"},
-    {SimBackend::kBatchFrame, "batch_frame"},
+    {SimBackend::kFrame, "frame", 0},
+    {SimBackend::kTableau, "tableau", 1},
+    {SimBackend::kBatchFrame, "batch_frame", 0},
 };
 
 [[noreturn]] void
@@ -80,6 +88,17 @@ backend_from_name(const std::string& name)
             return e.backend;
     }
     throw_unknown_backend("unknown simulation backend \"" + name + "\"");
+}
+
+int
+backend_rng_contract(SimBackend backend)
+{
+    for (const BackendEntry& e : kBackendTable) {
+        if (e.backend == backend)
+            return e.rng_contract;
+    }
+    throw_unknown_backend("invalid SimBackend value " +
+                          std::to_string(static_cast<int>(backend)));
 }
 
 SimBackend

@@ -158,6 +158,16 @@ SimBackend backend_from_name(const std::string& name);
 SimBackend backend_from_env();
 
 /**
+ * RNG contract group of a backend (from the one backend table).  Two
+ * backends with the SAME contract id replay identical (seed, stream,
+ * block) draw sequences, so any config's Metrics must be BIT-identical
+ * between them — the contract behind frame/batch_frame equality and the
+ * verify referee's bit-exact mode.  Backends with different ids draw
+ * independent randomness and agree only statistically.
+ */
+int backend_rng_contract(SimBackend backend);
+
+/**
  * Relative per-shot simulation cost of a backend on an n-qubit code,
  * normalized to the frame engine (= 1).  The tableau backend pays
  * O(n^2/64) bit-plane words per measurement where the frame engine pays

@@ -1,0 +1,157 @@
+#include "stats/stats.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gld {
+namespace stats {
+
+double
+normal_cdf(double z)
+{
+    // Phi(z) = erfc(-z / sqrt(2)) / 2; erfc keeps the far tails exact
+    // where 1 - erf would cancel to 0.
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double
+two_sided_p(double z)
+{
+    return std::erfc(std::fabs(z) / std::sqrt(2.0));
+}
+
+namespace {
+
+/** Acklam's rational approximation to the probit function (~1.15e-9
+ *  relative error before refinement). */
+double
+acklam_quantile(double p)
+{
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+    if (p < plow) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - plow) {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                 c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+}
+
+}  // namespace
+
+double
+normal_quantile(double p)
+{
+    if (!(p > 0.0 && p < 1.0))
+        throw std::domain_error("normal_quantile: p must be in (0, 1)");
+    double x = acklam_quantile(p);
+    // One Halley refinement against the exact erfc-based CDF takes the
+    // approximation to full double precision.
+    const double e = normal_cdf(x) - p;
+    const double u =
+        e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);  // e / pdf(x)
+    x = x - u / (1.0 + 0.5 * x * u);
+    return x;
+}
+
+double
+z_for_two_sided_alpha(double alpha)
+{
+    if (!(alpha > 0.0 && alpha < 1.0))
+        throw std::domain_error(
+            "z_for_two_sided_alpha: alpha must be in (0, 1)");
+    return normal_quantile(1.0 - alpha / 2.0);
+}
+
+Interval
+wilson_interval(const RateSample& s, double z)
+{
+    Interval iv;
+    if (!(s.trials > 0))
+        return iv;  // vacuous [0, 1]: nothing was measured
+    const double n = s.trials;
+    const double k = s.events < 0 ? 0 : (s.events > n ? n : s.events);
+    const double z2 = z * z;
+    const double center = (k + z2 / 2.0) / (n + z2);
+    const double half =
+        z * std::sqrt(k * (n - k) / n + z2 / 4.0) / (n + z2);
+    iv.lo = center - half;
+    iv.hi = center + half;
+    if (iv.lo < 0.0)
+        iv.lo = 0.0;
+    if (iv.hi > 1.0)
+        iv.hi = 1.0;
+    return iv;
+}
+
+TwoProportionResult
+two_proportion_z(const RateSample& a, const RateSample& b)
+{
+    TwoProportionResult r;
+    r.rate1 = a.rate();
+    r.rate2 = b.rate();
+    if (!(a.trials > 0) || !(b.trials > 0)) {
+        r.degenerate = true;  // no trials on a side: nothing to referee
+        return r;
+    }
+    const double pooled = (a.events + b.events) / (a.trials + b.trials);
+    if (pooled <= 0.0 || pooled >= 1.0) {
+        // Zero pooled variance: both sides all-zero (or all-one) — exact
+        // agreement, no evidence of a rate difference.
+        r.identical = true;
+        return r;
+    }
+    const double se = std::sqrt(pooled * (1.0 - pooled) *
+                                (1.0 / a.trials + 1.0 / b.trials));
+    r.z = (r.rate1 - r.rate2) / se;
+    r.p_value = two_sided_p(r.z);
+    return r;
+}
+
+double
+sidak_alpha(double alpha, int m)
+{
+    if (!(alpha > 0.0 && alpha < 1.0))
+        throw std::domain_error("sidak_alpha: alpha must be in (0, 1)");
+    if (m <= 1)
+        return alpha;
+    // 1 - (1-alpha)^(1/m) = -expm1(log1p(-alpha) / m), stable for tiny
+    // alpha where the naive power would round to 1.
+    return -std::expm1(std::log1p(-alpha) / static_cast<double>(m));
+}
+
+double
+bonferroni_alpha(double alpha, int m)
+{
+    if (!(alpha > 0.0 && alpha < 1.0))
+        throw std::domain_error("bonferroni_alpha: alpha must be in (0, 1)");
+    if (m <= 1)
+        return alpha;
+    return alpha / static_cast<double>(m);
+}
+
+}  // namespace stats
+}  // namespace gld

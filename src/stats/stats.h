@@ -1,0 +1,108 @@
+#ifndef GLD_STATS_STATS_H_
+#define GLD_STATS_STATS_H_
+
+namespace gld {
+namespace stats {
+
+/**
+ * Dependency-free statistical-equivalence primitives (ROADMAP
+ * "cross-backend referee campaigns"): the one definition of "two Monte
+ * Carlo rates agree" shared by the `gld_campaign verify` referee, the
+ * cross-backend test suites and any future bench gate.  Everything here
+ * is a pure function of its inputs — no RNG, no global state — so a
+ * verdict is reproducible from the recorded samples alone.
+ *
+ * The model is deliberately simple and honest: every compared metric is
+ * a binomial-style rate (events out of trials), refereed by the pooled
+ * two-proportion z-test, reported with Wilson score intervals, and
+ * alpha-corrected across the whole test family (Šidák, or Bonferroni on
+ * request) so a grid of many tests keeps one family-wise false-positive
+ * budget.  Paired-seed designs make the independence assumption
+ * conservative (shared noise realizations correlate the arms
+ * positively), which is the safe direction for a correctness gate.
+ */
+
+/** Standard normal CDF Phi(z), exact to double precision via erfc. */
+double normal_cdf(double z);
+
+/** Two-sided tail probability P(|N(0,1)| >= |z|) = erfc(|z|/sqrt(2)). */
+double two_sided_p(double z);
+
+/**
+ * Inverse of normal_cdf on (0, 1): Acklam's rational approximation
+ * polished with one Halley step against erfc, accurate to ~1e-15
+ * relative over the practical range.  Throws std::domain_error outside
+ * (0, 1).
+ */
+double normal_quantile(double p);
+
+/**
+ * The critical value z* with P(|N(0,1)| > z*) = alpha — e.g.
+ * z_for_two_sided_alpha(0.05) = 1.9599...  Throws std::domain_error
+ * unless 0 < alpha < 1.
+ */
+double z_for_two_sided_alpha(double alpha);
+
+/**
+ * One binomial-style rate sample: `events` successes out of `trials`.
+ * Doubles, not longs, because the Metrics accumulators are event counts
+ * stored as doubles; values are integral in practice.
+ */
+struct RateSample {
+    double events = 0;
+    double trials = 0;
+    /** events/trials; 0 when there are no trials. */
+    double rate() const { return trials > 0 ? events / trials : 0.0; }
+};
+
+/** A [lo, hi] confidence interval on a rate, clamped to [0, 1]. */
+struct Interval {
+    double lo = 0.0;
+    double hi = 1.0;
+};
+
+/**
+ * Wilson score interval for a rate at critical value z (NOT alpha — pass
+ * z_for_two_sided_alpha(alpha)).  Well-behaved at the degenerate edges
+ * the paper's sweeps actually hit: k = 0 gives [0, hi], k = n gives
+ * [lo, 1], and n = 0 returns the vacuous [0, 1].
+ */
+Interval wilson_interval(const RateSample& s, double z);
+
+/**
+ * Pooled two-proportion z-test of H0: both samples share one rate.
+ *
+ * Degenerate inputs referee to "no evidence of disagreement" instead of
+ * NaN: a side with zero trials sets `degenerate` (nothing was measured —
+ * p_value 1), and a pooled rate of exactly 0 or 1 (both sides all-zero
+ * or all-one, the "identical samples" case) has zero pooled variance
+ * and sets `identical` (p_value 1, z 0).
+ */
+struct TwoProportionResult {
+    double rate1 = 0.0;    ///< observed rate of sample a
+    double rate2 = 0.0;    ///< observed rate of sample b
+    double z = 0.0;        ///< pooled z statistic (0 when not testable)
+    double p_value = 1.0;  ///< two-sided
+    bool degenerate = false;  ///< a side had zero trials
+    bool identical = false;   ///< pooled rate 0 or 1: exact agreement
+};
+TwoProportionResult two_proportion_z(const RateSample& a,
+                                     const RateSample& b);
+
+/**
+ * Šidák per-test alpha preserving family-wise level `alpha` over m
+ * independent tests: 1 - (1-alpha)^(1/m), computed in log space so tiny
+ * alphas survive.  m <= 1 returns alpha unchanged.  Exact for
+ * independent tests and never looser than Bonferroni.
+ */
+double sidak_alpha(double alpha, int m);
+
+/** Bonferroni per-test alpha alpha/m: conservative under ANY dependence
+ *  structure (the fallback when arms share seeds).  m <= 1 returns
+ *  alpha. */
+double bonferroni_alpha(double alpha, int m);
+
+}  // namespace stats
+}  // namespace gld
+
+#endif  // GLD_STATS_STATS_H_

@@ -2,13 +2,15 @@
 #define GLD_TESTS_METRICS_TEST_UTIL_H_
 
 // Shared bit-exact Metrics comparison for the reproducibility suites
-// (test_determinism, test_campaign): every double is compared by bit
-// pattern — 0.1 + 0.2 style drift must not pass.  When a field is added
-// to Metrics, extend expect_metrics_identical HERE so every suite that
-// asserts bit-identity checks it.
+// (test_determinism, test_campaign, test_sim_backends).  The field-by-
+// field comparison itself lives in gld::metrics_bit_diff (runtime/
+// metrics.h) — the SAME definition gld_campaign verify's bit-exact
+// referee uses — so test and tool cannot drift on what "identical"
+// means.  When a field is added to Metrics, extend metrics_bit_diff.
 
 #include <cstdint>
 #include <cstring>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -29,21 +31,11 @@ expect_bits_eq(double a, double b, const char* what)
 inline void
 expect_metrics_identical(const Metrics& a, const Metrics& b)
 {
-    EXPECT_EQ(a.shots, b.shots);
-    EXPECT_EQ(a.rounds_per_shot, b.rounds_per_shot);
-    expect_bits_eq(a.fn_total, b.fn_total, "fn_total");
-    expect_bits_eq(a.fp_total, b.fp_total, "fp_total");
-    expect_bits_eq(a.tp_total, b.tp_total, "tp_total");
-    expect_bits_eq(a.lrc_data_total, b.lrc_data_total, "lrc_data_total");
-    expect_bits_eq(a.lrc_check_total, b.lrc_check_total, "lrc_check_total");
-    expect_bits_eq(a.dlp_total, b.dlp_total, "dlp_total");
-    expect_bits_eq(a.check_leak_total, b.check_leak_total,
-                   "check_leak_total");
-    EXPECT_EQ(a.logical_errors, b.logical_errors);
-    EXPECT_EQ(a.decoded_shots, b.decoded_shots);
-    ASSERT_EQ(a.dlp_series.size(), b.dlp_series.size());
-    for (size_t i = 0; i < a.dlp_series.size(); ++i)
-        expect_bits_eq(a.dlp_series[i], b.dlp_series[i], "dlp_series[i]");
+    const std::vector<std::string> diff = metrics_bit_diff(a, b);
+    std::string joined;
+    for (const std::string& d : diff)
+        joined += "\n  " + d;
+    EXPECT_TRUE(diff.empty()) << "Metrics differ:" << joined;
 }
 
 }  // namespace test

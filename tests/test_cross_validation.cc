@@ -7,8 +7,10 @@
 
 #include "circuit/round_circuit.h"
 #include "codes/surface_code.h"
+#include "runtime/experiment.h"
 #include "sim/frame_sim.h"
 #include "sim/tableau_sim.h"
+#include "stats/stats.h"
 
 namespace gld {
 namespace {
@@ -99,6 +101,57 @@ TEST(CrossValidation, XFaultSignatureAgreesBetweenEngines)
             EXPECT_EQ(before[c] != after[c], rr.detector[c] != 0)
                 << "qubit " << q << " check " << c;
         }
+    }
+}
+
+TEST(CrossValidation, ClosedLoopRatesAgreeStatistically)
+{
+    // The full pipeline — noise, leakage, speculation policy, LRC
+    // scheduling, decoding — run end-to-end on both engines, refereed
+    // exactly the way `gld_campaign verify` referees a statistical arm:
+    // pooled two-proportion z-tests on the Metrics rate samples (LER as
+    // a true binomial; FN/FP/DLP on the cluster-robust trajectory trial
+    // unit, see Metrics).  The engines draw independent measurement
+    // randomness, so agreement here is a genuine closed-loop
+    // cross-validation, not a replay.
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(2e-3, 0.5);
+    cfg.rounds = 8;
+    cfg.shots = 256;
+    cfg.seed = 0xC105EDC0DEull;
+    cfg.leakage_sampling = true;
+    cfg.compute_ler = true;
+    cfg.rng_streams = 8;
+
+    const PolicyFactory policy = PolicyZoo::eraser(/*use_mlr=*/true);
+    cfg.backend = SimBackend::kFrame;
+    const Metrics frame = ExperimentRunner(ctx, cfg).run(policy);
+    cfg.backend = SimBackend::kTableau;
+    const Metrics tab = ExperimentRunner(ctx, cfg).run(policy);
+
+    const int n_data = code.n_data();
+    const struct {
+        const char* name;
+        stats::RateSample a, b;
+    } checks[] = {
+        {"ler", frame.ler_sample(), tab.ler_sample()},
+        {"fn", frame.fn_sample(n_data), tab.fn_sample(n_data)},
+        {"fp", frame.fp_sample(n_data), tab.fp_sample(n_data)},
+        {"dlp", frame.dlp_sample(n_data), tab.dlp_sample(n_data)},
+    };
+    // Šidák over the 4-test family at a 0.004 total false-failure
+    // budget for this pinned seed.
+    const double per_test = stats::sidak_alpha(0.004, 4);
+    for (const auto& c : checks) {
+        const stats::TwoProportionResult r =
+            stats::two_proportion_z(c.a, c.b);
+        EXPECT_TRUE(r.degenerate || r.identical ||
+                    r.p_value >= per_test)
+            << c.name << ": " << c.a.rate() << " vs " << c.b.rate()
+            << " (z=" << r.z << ", p=" << r.p_value << ")";
     }
 }
 

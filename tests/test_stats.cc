@@ -1,0 +1,240 @@
+// Golden-value unit tests for the src/stats/ statistical-equivalence
+// primitives.  Every reference number below was computed independently
+// (closed-form, checked against scipy.stats conventions): the pooled
+// two-proportion z-test, Wilson score intervals, the normal quantile,
+// and the Šidák / Bonferroni family-wise corrections — plus the
+// degenerate edges the verify referee actually hits (zero trials,
+// all-zero samples, all-one samples, identical samples).
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.h"
+
+namespace gld {
+namespace stats {
+namespace {
+
+// ---------------------------------------------------------------- CDF.
+
+TEST(NormalCdf, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(0.5, normal_cdf(0.0));
+    EXPECT_NEAR(0.8413447460685429, normal_cdf(1.0), 1e-15);
+    EXPECT_NEAR(0.15865525393145707, normal_cdf(-1.0), 1e-15);
+    EXPECT_NEAR(0.9772498680518208, normal_cdf(2.0), 1e-15);
+    // Far tails stay finite and monotone.
+    EXPECT_GT(normal_cdf(-10.0), 0.0);
+    EXPECT_LT(normal_cdf(-10.0), 1e-20);
+}
+
+TEST(TwoSidedP, MatchesCdfTails)
+{
+    EXPECT_DOUBLE_EQ(1.0, two_sided_p(0.0));
+    // P(|N| >= 1.96) ~= 0.05.
+    EXPECT_NEAR(0.04999579029644087, two_sided_p(1.96), 1e-15);
+    // Symmetric in the sign of z.
+    EXPECT_DOUBLE_EQ(two_sided_p(2.5), two_sided_p(-2.5));
+}
+
+// ----------------------------------------------------------- Quantile.
+
+TEST(NormalQuantile, GoldenValues)
+{
+    // The classic two-sided critical values.
+    EXPECT_NEAR(1.9599639845400536, normal_quantile(0.975), 1e-12);
+    EXPECT_NEAR(2.5758293035489004, normal_quantile(0.995), 1e-12);
+    EXPECT_NEAR(0.0, normal_quantile(0.5), 1e-15);
+    EXPECT_NEAR(-1.2815515655446004, normal_quantile(0.1), 1e-12);
+}
+
+TEST(NormalQuantile, RoundTripsThroughCdf)
+{
+    for (double p : {1e-8, 1e-4, 0.01, 0.3, 0.5, 0.7, 0.99, 1 - 1e-6}) {
+        const double z = normal_quantile(p);
+        EXPECT_NEAR(p, normal_cdf(z), 1e-14 + 1e-12 * p) << "p=" << p;
+    }
+}
+
+TEST(NormalQuantile, ThrowsOutsideOpenUnitInterval)
+{
+    EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+    EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+    EXPECT_THROW(normal_quantile(-0.1), std::domain_error);
+    EXPECT_THROW(normal_quantile(1.5), std::domain_error);
+}
+
+TEST(ZForTwoSidedAlpha, GoldenValues)
+{
+    EXPECT_NEAR(1.9599639845400536, z_for_two_sided_alpha(0.05), 1e-12);
+    EXPECT_NEAR(2.5758293035489004, z_for_two_sided_alpha(0.01), 1e-12);
+    EXPECT_THROW(z_for_two_sided_alpha(0.0), std::domain_error);
+    EXPECT_THROW(z_for_two_sided_alpha(1.0), std::domain_error);
+}
+
+// ------------------------------------------------- Two-proportion z.
+
+TEST(TwoProportionZ, GoldenValueModerateRates)
+{
+    // 10/100 vs 20/100: pooled p = 0.15,
+    // z = (0.1 - 0.2) / sqrt(0.15 * 0.85 * (1/100 + 1/100)).
+    const auto r = two_proportion_z({10, 100}, {20, 100});
+    EXPECT_NEAR(-1.9802950859533488, r.z, 1e-12);
+    EXPECT_NEAR(0.047670380656161443, r.p_value, 1e-12);
+    EXPECT_DOUBLE_EQ(0.10, r.rate1);
+    EXPECT_DOUBLE_EQ(0.20, r.rate2);
+    EXPECT_FALSE(r.degenerate);
+    EXPECT_FALSE(r.identical);
+}
+
+TEST(TwoProportionZ, GoldenValueRareRatesUnequalN)
+{
+    // 5/1000 vs 9/1500 — the LER-like regime.
+    const auto r = two_proportion_z({5, 1000}, {9, 1500});
+    EXPECT_NEAR(-0.32824721790872829, r.z, 1e-12);
+    EXPECT_NEAR(0.74272474906366459, r.p_value, 1e-12);
+}
+
+TEST(TwoProportionZ, GoldenValueSmallSamples)
+{
+    // 1/10 vs 9/10: extreme disagreement on tiny n still resolves.
+    const auto r = two_proportion_z({1, 10}, {9, 10});
+    EXPECT_NEAR(-3.5777087639996639, r.z, 1e-12);
+    EXPECT_NEAR(0.00034661935113466686, r.p_value, 1e-14);
+}
+
+TEST(TwoProportionZ, SymmetricUnderSwap)
+{
+    const auto ab = two_proportion_z({7, 200}, {13, 300});
+    const auto ba = two_proportion_z({13, 300}, {7, 200});
+    EXPECT_DOUBLE_EQ(ab.z, -ba.z);
+    EXPECT_DOUBLE_EQ(ab.p_value, ba.p_value);
+}
+
+TEST(TwoProportionZ, ZeroTrialsIsDegenerateNotNan)
+{
+    for (const auto& r : {two_proportion_z({0, 0}, {5, 100}),
+                          two_proportion_z({5, 100}, {0, 0}),
+                          two_proportion_z({0, 0}, {0, 0})}) {
+        EXPECT_TRUE(r.degenerate);
+        EXPECT_DOUBLE_EQ(1.0, r.p_value);
+        EXPECT_DOUBLE_EQ(0.0, r.z);
+        EXPECT_FALSE(std::isnan(r.p_value));
+    }
+}
+
+TEST(TwoProportionZ, AllZeroSamplesAreIdentical)
+{
+    // Pooled rate exactly 0: zero pooled variance, exact agreement.
+    const auto r = two_proportion_z({0, 500}, {0, 700});
+    EXPECT_TRUE(r.identical);
+    EXPECT_FALSE(r.degenerate);
+    EXPECT_DOUBLE_EQ(1.0, r.p_value);
+    EXPECT_DOUBLE_EQ(0.0, r.z);
+}
+
+TEST(TwoProportionZ, AllOneSamplesAreIdentical)
+{
+    // Pooled rate exactly 1: the p = 1 mirror of the all-zero case.
+    const auto r = two_proportion_z({500, 500}, {700, 700});
+    EXPECT_TRUE(r.identical);
+    EXPECT_DOUBLE_EQ(1.0, r.p_value);
+    EXPECT_DOUBLE_EQ(1.0, r.rate1);
+    EXPECT_DOUBLE_EQ(1.0, r.rate2);
+}
+
+TEST(TwoProportionZ, EqualSamplesGiveZeroZ)
+{
+    const auto r = two_proportion_z({25, 400}, {25, 400});
+    EXPECT_FALSE(r.degenerate);
+    EXPECT_FALSE(r.identical);
+    EXPECT_DOUBLE_EQ(0.0, r.z);
+    EXPECT_DOUBLE_EQ(1.0, r.p_value);
+}
+
+// ----------------------------------------------------------- Wilson.
+
+TEST(WilsonInterval, GoldenValueCentral)
+{
+    // 10/100 at the 95% critical value.
+    const auto ci = wilson_interval({10, 100}, 1.9599639845400536);
+    EXPECT_NEAR(0.055229137060675101, ci.lo, 1e-12);
+    EXPECT_NEAR(0.17436566150491345, ci.hi, 1e-12);
+    // Contains the point estimate.
+    EXPECT_LT(ci.lo, 0.10);
+    EXPECT_GT(ci.hi, 0.10);
+}
+
+TEST(WilsonInterval, ZeroEventsPinsLowerBound)
+{
+    // 0/50 at the 99% critical value: lo exactly 0, informative hi.
+    const auto ci = wilson_interval({0, 50}, 2.5758293035489004);
+    EXPECT_DOUBLE_EQ(0.0, ci.lo);
+    EXPECT_NEAR(0.11715209171762792, ci.hi, 1e-12);
+}
+
+TEST(WilsonInterval, AllEventsPinsUpperBound)
+{
+    const auto ci = wilson_interval({50, 50}, 1.96);
+    EXPECT_NEAR(0.92864996582568127, ci.lo, 1e-12);
+    EXPECT_DOUBLE_EQ(1.0, ci.hi);
+}
+
+TEST(WilsonInterval, ZeroTrialsIsVacuous)
+{
+    const auto ci = wilson_interval({0, 0}, 1.96);
+    EXPECT_DOUBLE_EQ(0.0, ci.lo);
+    EXPECT_DOUBLE_EQ(1.0, ci.hi);
+}
+
+TEST(WilsonInterval, WiderAtHigherConfidence)
+{
+    const auto narrow = wilson_interval({30, 200}, 1.96);
+    const auto wide = wilson_interval({30, 200}, 2.576);
+    EXPECT_LT(wide.lo, narrow.lo);
+    EXPECT_GT(wide.hi, narrow.hi);
+}
+
+// ------------------------------------------------------ Corrections.
+
+TEST(SidakAlpha, GoldenValues)
+{
+    // 1 - (1 - 0.05)^(1/10).
+    EXPECT_NEAR(0.0051161968918237008, sidak_alpha(0.05, 10), 1e-15);
+    EXPECT_NEAR(0.00025122683359019477, sidak_alpha(0.01, 40), 1e-17);
+    // m = 1 is the identity.
+    EXPECT_DOUBLE_EQ(0.01, sidak_alpha(0.01, 1));
+}
+
+TEST(SidakAlpha, NeverLooserThanBonferroniNorTighterThanNeeded)
+{
+    for (int m : {2, 5, 17, 1000}) {
+        const double s = sidak_alpha(0.01, m);
+        const double b = bonferroni_alpha(0.01, m);
+        EXPECT_GT(s, b) << "m=" << m;      // Šidák is the sharper bound
+        EXPECT_LT(s, 0.01) << "m=" << m;   // but still a real correction
+        // Family-wise level is exactly restored: 1-(1-s)^m == alpha.
+        EXPECT_NEAR(0.01, -std::expm1(static_cast<double>(m) *
+                                      std::log1p(-s)),
+                    1e-12);
+    }
+}
+
+TEST(BonferroniAlpha, DividesByM)
+{
+    EXPECT_DOUBLE_EQ(0.005, bonferroni_alpha(0.05, 10));
+    EXPECT_DOUBLE_EQ(0.05, bonferroni_alpha(0.05, 1));
+}
+
+TEST(Corrections, RejectBadAlpha)
+{
+    EXPECT_THROW(sidak_alpha(0.0, 5), std::domain_error);
+    EXPECT_THROW(sidak_alpha(1.0, 5), std::domain_error);
+    EXPECT_THROW(bonferroni_alpha(-0.01, 5), std::domain_error);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace gld

@@ -95,12 +95,26 @@ BM_BackendThroughput(benchmark::State& state)
     cfg.leakage_sampling = false;  // natural leakage, as a memory run
     cfg.threads = 1;
     cfg.backend = static_cast<SimBackend>(state.range(0));
-    const ExperimentRunner runner(b.ctx, cfg);
+    ExperimentRunner runner(b.ctx, cfg);
+    // Telemetry rides along (pure side channel — the drift gate pins that
+    // the measured Metrics are bit-identical with it attached) so the
+    // recorded trajectory carries the sim/policy/decode/accounting wall
+    // split, not just one shots/s number.
+    telemetry::Collector collector;
+    runner.set_telemetry(&collector);
     const PolicyFactory factory = PolicyZoo::no_lrc();
     for (auto _ : state)
         benchmark::DoNotOptimize(runner.run(factory));
     state.SetItemsProcessed(state.iterations() * cfg.shots);
     state.SetLabel(backend_name(cfg.backend));
+    const telemetry::Record rec = collector.merged();
+    const double total = static_cast<double>(rec.total_stage_ns());
+    if (total > 0.0) {
+        for (int s = 0; s < telemetry::kStageCount; ++s)
+            state.counters[std::string("frac_") + telemetry::stage_name(s)] =
+                benchmark::Counter(
+                    static_cast<double>(rec.stage_ns[s]) / total);
+    }
 }
 BENCHMARK(BM_BackendThroughput)
     ->Arg(static_cast<int>(SimBackend::kFrame))

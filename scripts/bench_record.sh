@@ -10,10 +10,14 @@
 #   scripts/bench_record.sh              # run, append, git-commit the file
 #   scripts/bench_record.sh --no-commit  # run and append only
 #
-# Each record: {git_rev, date, num_cpus, min_time_s, shots_per_second:
-# {frame: ..., batch_frame: ...}}.  The file is a JSON array, oldest
-# first.  Throughput is machine-dependent — compare records from the same
-# host (num_cpus is recorded to make foreign records obvious).
+# Each record: {git_rev, date, num_cpus, threads, min_time_s,
+# shots_per_second: {frame: ..., batch_frame: ...}, stage_frac: {frame:
+# {sim: ..., policy: ..., decode: ..., accounting: ...}, ...}}.  The
+# stage fractions come from the telemetry side channel riding along the
+# benchmark (src/telemetry/) — where the wall time went, not just how
+# much of it there was.  The file is a JSON array, oldest first.
+# Throughput is machine-dependent — compare records from the same host
+# (num_cpus is recorded to make foreign records obvious).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,15 +53,30 @@ raw_path, out_path = sys.argv[1], sys.argv[2]
 with open(raw_path) as f:
     raw = json.load(f)
 
+results = [
+    b for b in raw["benchmarks"]
+    if b.get("run_type") == "iteration" and "label" in b
+]
 record = {
     "git_rev": os.environ["GIT_REV"],
     "date": raw["context"]["date"],
     "num_cpus": raw["context"]["num_cpus"],
+    # The benchmark config's worker thread count (bench/micro_speculation
+    # .cc pins 1 so the ratio is the backend's, not the scheduler's).
+    "threads": 1,
     "min_time_s": float(os.environ["MIN_TIME"]),
     "shots_per_second": {
-        b["label"]: round(b["items_per_second"], 1)
-        for b in raw["benchmarks"]
-        if b.get("run_type") == "iteration" and "label" in b
+        b["label"]: round(b["items_per_second"], 1) for b in results
+    },
+    # Telemetry stage split per backend: fraction of worker wall time in
+    # sim / policy / decode / accounting (frac_* counters).
+    "stage_frac": {
+        b["label"]: {
+            k[len("frac_"):]: round(v, 4)
+            for k, v in sorted(b.items())
+            if k.startswith("frac_")
+        }
+        for b in results
     },
 }
 if not record["shots_per_second"]:

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "campaign/registry.h"
+#include "hw/timing_model.h"
 #include "io/serialize.h"
+#include "sim/op_profile.h"
 #include "util/config.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -152,6 +156,93 @@ job_cost_units(const JobSpec& job, int n_qubits, long shots)
            backend_cost_factor(job.cfg.backend, n_qubits);
 }
 
+// --- Calibration. ---
+
+double
+Calibration::rate(const std::string& backend, const std::string& code) const
+{
+    const auto it = rates.find(key(backend, code));
+    if (it == rates.end())
+        throw std::runtime_error(
+            "calibration: no measured rate for \"" + key(backend, code) +
+            "\" (run the campaign with telemetry, then "
+            "`gld_campaign calibrate`)");
+    return it->second;
+}
+
+Json
+Calibration::to_json() const
+{
+    Json j = Json::object();
+    j.set("gld_version", Json::integer(io::kSerializeVersion));
+    Json jr = Json::object();
+    for (const auto& kv : rates)
+        jr.set(kv.first, Json::number(kv.second));
+    j.set("shots_per_second", std::move(jr));
+    return j;
+}
+
+Calibration
+Calibration::from_json(const Json& j)
+{
+    const int64_t v = j["gld_version"].as_int();
+    if (v < 1 || v > io::kSerializeVersion)
+        throw std::runtime_error("Calibration: unsupported gld_version " +
+                                 std::to_string(v));
+    Calibration cal;
+    for (const auto& kv : j["shots_per_second"].items()) {
+        const double rate = kv.second.as_double();
+        if (!(rate > 0.0))
+            throw std::runtime_error("Calibration: rate for \"" + kv.first +
+                                     "\" must be positive");
+        cal.rates[kv.first] = rate;
+    }
+    return cal;
+}
+
+Calibration
+Calibration::from_telemetry(const CampaignSpec& spec, int n_shards,
+                            const std::string& out_dir)
+{
+    ShardPlan::validate(0, n_shards);
+    struct Sum {
+        double shots = 0.0;
+        double seconds = 0.0;
+    };
+    std::map<std::string, Sum> sums;
+    for (const JobSpec& job : spec.expand()) {
+        const std::string want_hash =
+            io::u64_to_hex(io::config_hash(job.cfg));
+        for (int shard = 0; shard < n_shards; ++shard) {
+            const std::string path =
+                telemetry_path(out_dir, spec, job.index, shard, n_shards);
+            if (!io::file_exists(path))
+                continue;
+            try {
+                const Json j = Json::parse(io::read_file(path));
+                if (j["config_hash"].as_str() != want_hash)
+                    continue;  // stale telemetry: never calibrate on it
+                Sum& s = sums[key(backend_name(job.cfg.backend), job.code)];
+                s.shots += static_cast<double>(j["shots"].as_int());
+                s.seconds +=
+                    static_cast<double>(j["wall_ns"].as_int()) * 1e-9;
+            } catch (const std::exception&) {
+                continue;  // garbled file: skip, like resume does
+            }
+        }
+    }
+    Calibration cal;
+    for (const auto& kv : sums) {
+        if (kv.second.shots > 0.0 && kv.second.seconds > 0.0)
+            cal.rates[kv.first] = kv.second.shots / kv.second.seconds;
+    }
+    if (cal.rates.empty())
+        throw std::runtime_error(
+            "calibrate: no telemetry found for campaign \"" + spec.name +
+            "\" in " + out_dir + " (run with telemetry enabled first)");
+    return cal;
+}
+
 // --- ShardPlan. ---
 
 void
@@ -181,8 +272,11 @@ ShardPlan::streams_for(const ExperimentConfig& cfg, int shard, int n_shards)
 CampaignPlan
 CampaignPlan::build(
     const CampaignSpec& spec, int n_shards,
-    std::map<std::string, std::shared_ptr<const CodeInstance>>* codes)
+    std::map<std::string, std::shared_ptr<const CodeInstance>>* codes,
+    const Calibration* calib)
 {
+    if (calib != nullptr && calib->empty())
+        calib = nullptr;
     ShardPlan::validate(0, n_shards);
     const std::vector<JobSpec> jobs = spec.expand();
 
@@ -222,14 +316,21 @@ CampaignPlan::build(
     std::vector<Item> items;
     for (size_t j = 0; j < jobs.size(); ++j) {
         const ExperimentConfig& cfg = jobs[j].cfg;
-        const double factor =
-            backend_cost_factor(cfg.backend, plan.job_qubits[j]);
+        // Cost per shot: analytic rounds x backend factor by default;
+        // with a calibration, measured wall seconds (1 / shots-per-
+        // second) — same LPT, honest units.  rate() throws on a missing
+        // (backend, code) key, so a partial calibration never silently
+        // half-applies.
+        const double per_shot =
+            calib != nullptr
+                ? 1.0 / calib->rate(backend_name(cfg.backend), jobs[j].code)
+                : static_cast<double>(cfg.rounds) *
+                      backend_cost_factor(cfg.backend, plan.job_qubits[j]);
         const int total = ExperimentRunner::n_streams(cfg);
         for (int s = 0; s < total; ++s) {
             const long shots = ExperimentRunner::stream_shots(cfg, s);
-            items.push_back({static_cast<double>(shots) *
-                                 static_cast<double>(cfg.rounds) * factor,
-                             shots, static_cast<int>(j), s});
+            items.push_back({static_cast<double>(shots) * per_shot, shots,
+                             static_cast<int>(j), s});
         }
     }
 
@@ -296,6 +397,33 @@ merged_result_path(const std::string& out_dir, const CampaignSpec& spec,
     return out_dir + "/" + job_tag(spec, job_index) + ".merged.json";
 }
 
+std::string
+telemetry_path(const std::string& out_dir, const CampaignSpec& spec,
+               int job_index, int shard, int n_shards)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ".shard%dof%d.telemetry.json", shard,
+                  n_shards);
+    return out_dir + "/" + job_tag(spec, job_index) + buf;
+}
+
+std::string
+progress_path(const std::string& out_dir, const CampaignSpec& spec,
+              int shard, int n_shards)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ".progress.shard%dof%d.jsonl", shard,
+                  n_shards);
+    return out_dir + "/" + spec.name + buf;
+}
+
+std::string
+heatmap_path(const std::string& out_dir, const CampaignSpec& spec,
+             int job_index)
+{
+    return out_dir + "/" + job_tag(spec, job_index) + ".heatmap.json";
+}
+
 // --- run_shard. ---
 
 namespace {
@@ -343,12 +471,140 @@ shard_result_valid(const std::string& path, const CampaignSpec& spec,
     }
 }
 
+/** Wall clock for heartbeats/throughput (never result-affecting). */
+uint64_t
+wall_now_ns()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Shard-level liveness aggregator: job workers report cumulative shot
+ * counts (from their collectors' on_block hooks) and completed jobs'
+ * stage times; the tracker appends throttled heartbeat lines to the
+ * shard's progress JSONL — the `gld_campaign status` feed.  One writer
+ * per (shard, run): the file is truncated at construction, and every
+ * line is a complete JSON object.
+ */
+class ProgressTracker {
+  public:
+    ProgressTracker(std::string path, int shard, int n_shards,
+                    int64_t jobs_total, int64_t shots_total)
+        : path_(std::move(path)), shard_(shard), n_shards_(n_shards),
+          jobs_total_(jobs_total), shots_total_(shots_total),
+          start_ns_(wall_now_ns())
+    {
+        io::write_file_atomic(path_, "");  // fresh stream per run
+        std::lock_guard<std::mutex> lk(mu_);
+        emit(true);
+    }
+
+    /** A job's collector reported `cumulative` shots recorded so far. */
+    void report_job_shots(int job_index, uint64_t cumulative)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        uint64_t& cur = job_shots_[job_index];
+        if (cumulative > cur) {
+            shots_done_ += cumulative - cur;
+            cur = cumulative;
+        }
+        emit(false);
+    }
+
+    /**
+     * A job finished.  Resumed jobs never report shots (nothing ran), so
+     * their planned shard shots count as done here; `rec` carries an
+     * executed job's stage times (null for resumed jobs).
+     */
+    void job_finished(int job_index, bool resumed, uint64_t planned_shots,
+                      const telemetry::Record* rec)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (resumed) {
+            ++jobs_resumed_;
+            shots_done_ += planned_shots;
+        } else {
+            // Belt and braces: make sure the full job is accounted even
+            // if an on_block delivery raced the final merge.
+            uint64_t& cur = job_shots_[job_index];
+            if (planned_shots > cur) {
+                shots_done_ += planned_shots - cur;
+                cur = planned_shots;
+            }
+        }
+        if (rec != nullptr) {
+            for (int s = 0; s < telemetry::kStageCount; ++s)
+                stage_ns_[s] += rec->stage_ns[s];
+        }
+        ++jobs_done_;
+        emit(true);
+    }
+
+    /** Final heartbeat with done=true. */
+    void finish()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        done_ = true;
+        emit(true);
+    }
+
+  private:
+    /** Emits a heartbeat line (call with mu_ held); throttled to one
+     *  line per ~0.5 s unless forced (job boundaries, start, finish). */
+    void emit(bool forced)
+    {
+        const uint64_t now = wall_now_ns();
+        if (!forced && now - last_emit_ns_ < 500'000'000ull)
+            return;
+        last_emit_ns_ = now;
+        const uint64_t wall = now - start_ns_;
+        Json j = Json::object();
+        j.set("shard", Json::integer(shard_));
+        j.set("n_shards", Json::integer(n_shards_));
+        j.set("jobs_done", Json::integer(jobs_done_));
+        j.set("jobs_resumed", Json::integer(jobs_resumed_));
+        j.set("jobs_total", Json::integer(jobs_total_));
+        j.set("shots_done", Json::integer(static_cast<int64_t>(shots_done_)));
+        j.set("shots_total", Json::integer(shots_total_));
+        j.set("wall_ns", Json::integer(static_cast<int64_t>(wall)));
+        j.set("shots_per_second",
+              Json::number(wall > 0 ? static_cast<double>(shots_done_) /
+                                          (static_cast<double>(wall) * 1e-9)
+                                    : 0.0));
+        Json js = Json::object();
+        for (int s = 0; s < telemetry::kStageCount; ++s)
+            js.set(telemetry::stage_name(s),
+                   Json::integer(static_cast<int64_t>(stage_ns_[s])));
+        j.set("stage_ns", std::move(js));
+        j.set("done", Json::boolean(done_));
+        io::append_line(path_, j.dump());
+    }
+
+    const std::string path_;
+    const int shard_;
+    const int n_shards_;
+    const int64_t jobs_total_;
+    const int64_t shots_total_;
+    const uint64_t start_ns_;
+
+    std::mutex mu_;
+    std::map<int, uint64_t> job_shots_;  ///< cumulative per job
+    uint64_t shots_done_ = 0;
+    int64_t jobs_done_ = 0;
+    int64_t jobs_resumed_ = 0;
+    uint64_t stage_ns_[telemetry::kStageCount] = {0, 0, 0, 0};
+    uint64_t last_emit_ns_ = 0;
+    bool done_ = false;
+};
+
 }  // namespace
 
 RunShardStats
 run_shard(const CampaignSpec& spec, int shard, int n_shards,
-          const std::string& out_dir, int threads, bool verbose,
-          int jobs_parallel)
+          const std::string& out_dir, const RunShardOptions& opt)
 {
     ShardPlan::validate(shard, n_shards);
     io::make_dirs(out_dir);
@@ -358,9 +614,24 @@ run_shard(const CampaignSpec& spec, int shard, int n_shards,
     // plan built for its cost model are kept and shared below (they are
     // immutable once built; concurrent jobs only read them).
     std::map<std::string, std::shared_ptr<const CodeInstance>> codes;
-    const CampaignPlan plan = CampaignPlan::build(spec, n_shards, &codes);
+    const CampaignPlan plan =
+        CampaignPlan::build(spec, n_shards, &codes, opt.calibration);
     std::atomic<int> jobs_run{0};
     std::atomic<int> jobs_resumed{0};
+    const int threads = opt.threads;
+    const bool verbose = opt.verbose;
+    const int jobs_parallel = opt.jobs_parallel;
+
+    // Telemetry is a pure side channel end to end: with it off (or
+    // compiled out) this function produces byte-identical result files
+    // along the exact pre-telemetry code path.
+    const bool use_telemetry = opt.telemetry && telemetry::kCompiledIn;
+    std::unique_ptr<ProgressTracker> tracker;
+    if (use_telemetry)
+        tracker = std::make_unique<ProgressTracker>(
+            progress_path(out_dir, spec, shard, n_shards), shard, n_shards,
+            static_cast<int64_t>(jobs.size()),
+            plan.shard_shots[static_cast<size_t>(shard)]);
 
     // Split the auto thread budget across job workers: -j N with
     // --threads unset must not oversubscribe N x hardware_concurrency.
@@ -378,8 +649,15 @@ run_shard(const CampaignSpec& spec, int shard, int n_shards,
             plan.streams_for(job.index, shard);
         const std::string path =
             shard_result_path(out_dir, spec, job.index, shard, n_shards);
+        uint64_t planned_shots = 0;
+        for (int s : streams)
+            planned_shots += static_cast<uint64_t>(
+                ExperimentRunner::stream_shots(job.cfg, s));
         if (shard_result_valid(path, spec, job, shard, n_shards, streams)) {
             jobs_resumed.fetch_add(1);
+            if (tracker != nullptr)
+                tracker->job_finished(job.index, /*resumed=*/true,
+                                      planned_shots, nullptr);
             if (verbose)
                 std::printf("  job %04d [%s / %s]: resume — result "
                             "up-to-date\n",
@@ -388,6 +666,8 @@ run_shard(const CampaignSpec& spec, int shard, int n_shards,
         }
 
         std::vector<Metrics> parts;
+        telemetry::Record rec;
+        uint64_t job_wall_ns = 0;
         if (!streams.empty()) {
             // Shards the plan assigned no streams of this job: still
             // write the (empty) result file merge expects, but skip the
@@ -397,9 +677,27 @@ run_shard(const CampaignSpec& spec, int shard, int n_shards,
                 codes.at(job.code);
             ExperimentConfig cfg = job.cfg;
             cfg.threads = job_threads;
-            const ExperimentRunner runner(code->ctx, cfg);
+            ExperimentRunner runner(code->ctx, cfg);
+            std::unique_ptr<telemetry::Collector> col;
+            if (use_telemetry) {
+                telemetry::Collector::Options copt;
+                copt.heatmap = opt.heatmap;
+                if (tracker != nullptr) {
+                    ProgressTracker* t = tracker.get();
+                    const int job_index = job.index;
+                    copt.on_block = [t, job_index](uint64_t done) {
+                        t->report_job_shots(job_index, done);
+                    };
+                }
+                col = std::make_unique<telemetry::Collector>(std::move(copt));
+                runner.set_telemetry(col.get());
+            }
+            const uint64_t t0 = wall_now_ns();
             parts = runner.run_partials(make_policy(job.policy, job.cfg.np),
                                         streams);
+            job_wall_ns = wall_now_ns() - t0;
+            if (col != nullptr)
+                rec = col->merged();
         }
 
         Json j = Json::object();
@@ -421,7 +719,55 @@ run_shard(const CampaignSpec& spec, int shard, int n_shards,
         }
         j.set("streams", std::move(jstreams));
         io::write_file_atomic(path, j.dump(2) + "\n");
+
+        if (use_telemetry) {
+            // The job's telemetry export, beside its result file: run
+            // identity + the merged record + a measured-vs-modeled round
+            // time (the hw/ timing model priced against the sim stage).
+            Json t = Json::object();
+            t.set("gld_version", Json::integer(io::kSerializeVersion));
+            t.set("campaign", Json::str(spec.name));
+            t.set("job", Json::integer(job.index));
+            t.set("code", Json::str(job.code));
+            t.set("policy", Json::str(job.policy));
+            t.set("backend", Json::str(backend_name(job.cfg.backend)));
+            t.set("config_hash",
+                  Json::str(io::u64_to_hex(io::config_hash(job.cfg))));
+            t.set("shard", Json::integer(shard));
+            t.set("n_shards", Json::integer(n_shards));
+            const Json ex =
+                telemetry::export_to_json(rec, job_wall_ns, job_threads);
+            for (const auto& kv : ex.items())
+                t.set(kv.first, kv.second);
+            if (rec.rounds > 0) {
+                const std::shared_ptr<const CodeInstance> code =
+                    codes.at(job.code);
+                const double measured_round_ns =
+                    static_cast<double>(rec.stage_ns[telemetry::kSim]) /
+                    static_cast<double>(rec.rounds);
+                const RoundOpProfile prof = profile_round_ops(
+                    code->ctx.code(), code->ctx.rc(), job.cfg.np,
+                    LrcSchedule{});
+                const TimingModel::ModelComparison cmp =
+                    TimingModel().compare_round_ns(prof.quiet,
+                                                   measured_round_ns);
+                Json jm = Json::object();
+                jm.set("modeled_round_ns", Json::number(cmp.modeled_ns));
+                jm.set("measured_sim_ns_per_round",
+                       Json::number(cmp.measured_ns));
+                jm.set("measured_over_modeled", Json::number(cmp.ratio));
+                t.set("timing_model", std::move(jm));
+            }
+            io::write_file_atomic(
+                telemetry_path(out_dir, spec, job.index, shard, n_shards),
+                t.dump(2) + "\n");
+        }
+
         jobs_run.fetch_add(1);
+        if (tracker != nullptr)
+            tracker->job_finished(job.index, /*resumed=*/false,
+                                  planned_shots,
+                                  streams.empty() ? nullptr : &rec);
         if (verbose)
             std::printf("  job %04d [%s / %s]: ran %zu stream(s) -> %s\n",
                         job.index, job.code.c_str(), job.policy.c_str(),
@@ -437,10 +783,26 @@ run_shard(const CampaignSpec& spec, int shard, int n_shards,
     parallel_for_dynamic(jobs.size(), pool_size,
                          [&](size_t i) { run_one_job(jobs[i]); });
 
+    if (tracker != nullptr)
+        tracker->finish();
+
     RunShardStats stats;
     stats.jobs_run = jobs_run.load();
     stats.jobs_resumed = jobs_resumed.load();
     return stats;
+}
+
+RunShardStats
+run_shard(const CampaignSpec& spec, int shard, int n_shards,
+          const std::string& out_dir, int threads, bool verbose,
+          int jobs_parallel)
+{
+    RunShardOptions opt;
+    opt.threads = threads;
+    opt.verbose = verbose;
+    opt.jobs_parallel = jobs_parallel;
+    opt.telemetry = false;  // the exact pre-telemetry behavior
+    return run_shard(spec, shard, n_shards, out_dir, opt);
 }
 
 void
@@ -448,12 +810,19 @@ remove_results(const CampaignSpec& spec, int n_shards,
                const std::string& out_dir)
 {
     for (const JobSpec& job : spec.expand()) {
-        for (int shard = 0; shard < n_shards; ++shard)
+        for (int shard = 0; shard < n_shards; ++shard) {
             std::remove(shard_result_path(out_dir, spec, job.index, shard,
                                           n_shards)
                             .c_str());
+            std::remove(telemetry_path(out_dir, spec, job.index, shard,
+                                       n_shards)
+                            .c_str());
+        }
         std::remove(merged_result_path(out_dir, spec, job.index).c_str());
+        std::remove(heatmap_path(out_dir, spec, job.index).c_str());
     }
+    for (int shard = 0; shard < n_shards; ++shard)
+        std::remove(progress_path(out_dir, spec, shard, n_shards).c_str());
 }
 
 // --- merge. ---
@@ -563,26 +932,295 @@ load_merged(const CampaignSpec& spec, const std::string& out_dir)
     return out;
 }
 
+namespace {
+
+/**
+ * Per-job wall time + executed shots summed over every shard telemetry
+ * file present for this (job, config); `found` false when no shard wrote
+ * telemetry (columns print "-").
+ */
+struct JobTelemetrySummary {
+    bool found = false;
+    double wall_s = 0.0;
+    uint64_t shots = 0;
+};
+
+JobTelemetrySummary
+job_telemetry_summary(const CampaignSpec& spec, const JobSpec& job,
+                      int n_shards, const std::string& out_dir)
+{
+    JobTelemetrySummary sum;
+    const std::string want_hash = io::u64_to_hex(io::config_hash(job.cfg));
+    for (int shard = 0; shard < n_shards; ++shard) {
+        const std::string path =
+            telemetry_path(out_dir, spec, job.index, shard, n_shards);
+        if (!io::file_exists(path))
+            continue;
+        try {
+            const Json j = Json::parse(io::read_file(path));
+            if (j["config_hash"].as_str() != want_hash)
+                continue;
+            sum.found = true;
+            sum.wall_s += static_cast<double>(j["wall_ns"].as_int()) * 1e-9;
+            sum.shots += static_cast<uint64_t>(j["shots"].as_int());
+        } catch (const std::exception&) {
+            continue;
+        }
+    }
+    return sum;
+}
+
+}  // namespace
+
 void
-print_report(const CampaignSpec& spec, const std::string& out_dir)
+print_report(const CampaignSpec& spec, const std::string& out_dir,
+             int n_shards)
 {
     const std::vector<JobSpec> jobs = spec.expand();
     const std::vector<Metrics> metrics = load_merged(spec, out_dir);
-    TablePrinter t({"Job", "Code", "Policy", "p", "lr", "FN/shot", "FP/shot",
-                    "LRC/shot", "DLP", "LER"});
+    const bool telem_cols = n_shards > 0;
+    std::vector<std::string> header = {"Job", "Code", "Policy", "p", "lr",
+                                       "FN/shot", "FP/shot", "LRC/shot",
+                                       "DLP", "LER"};
+    if (telem_cols) {
+        header.push_back("Wall(s)");
+        header.push_back("Shots/s");
+    }
+    TablePrinter t(header);
     for (size_t i = 0; i < jobs.size(); ++i) {
         const JobSpec& job = jobs[i];
         const Metrics& m = metrics[i];
-        t.add_row({std::to_string(job.index), job.code, job.policy,
-                   TablePrinter::sci(job.cfg.np.p, 1),
-                   TablePrinter::fmt(job.cfg.np.leak_ratio, 2),
-                   TablePrinter::fmt(m.fn_per_shot(), 2),
-                   TablePrinter::fmt(m.fp_per_shot(), 2),
-                   TablePrinter::fmt(m.lrc_per_shot(), 2),
-                   TablePrinter::sci(m.dlp_mean(), 2),
-                   m.decoded_shots > 0 ? TablePrinter::sci(m.ler(), 2) : "-"});
+        std::vector<std::string> row = {
+            std::to_string(job.index), job.code, job.policy,
+            TablePrinter::sci(job.cfg.np.p, 1),
+            TablePrinter::fmt(job.cfg.np.leak_ratio, 2),
+            TablePrinter::fmt(m.fn_per_shot(), 2),
+            TablePrinter::fmt(m.fp_per_shot(), 2),
+            TablePrinter::fmt(m.lrc_per_shot(), 2),
+            TablePrinter::sci(m.dlp_mean(), 2),
+            m.decoded_shots > 0 ? TablePrinter::sci(m.ler(), 2) : "-"};
+        if (telem_cols) {
+            const JobTelemetrySummary ts =
+                job_telemetry_summary(spec, job, n_shards, out_dir);
+            if (ts.found && ts.wall_s > 0.0) {
+                row.push_back(TablePrinter::fmt(ts.wall_s, 2));
+                row.push_back(TablePrinter::fmt(
+                    static_cast<double>(ts.shots) / ts.wall_s, 0));
+            } else {
+                row.push_back("-");
+                row.push_back("-");
+            }
+        }
+        t.add_row(std::move(row));
     }
     t.print();
+}
+
+// --- Liveness (status). ---
+
+std::vector<ShardProgress>
+read_progress(const CampaignSpec& spec, int n_shards,
+              const std::string& out_dir)
+{
+    ShardPlan::validate(0, n_shards);
+    std::vector<ShardProgress> out;
+    for (int shard = 0; shard < n_shards; ++shard) {
+        ShardProgress p;
+        p.shard = shard;
+        const std::string path =
+            progress_path(out_dir, spec, shard, n_shards);
+        if (io::file_exists(path)) {
+            // Last COMPLETE line wins: a line being appended right now
+            // may be torn, so scan from the end for the first parseable
+            // one.
+            const std::string text = io::read_file(path);
+            size_t end = text.size();
+            while (end > 0 && !p.valid) {
+                size_t begin = text.rfind('\n', end - 1);
+                begin = begin == std::string::npos ? 0 : begin + 1;
+                const std::string line = text.substr(begin, end - begin);
+                if (!line.empty()) {
+                    try {
+                        const Json j = Json::parse(line);
+                        p.valid = true;
+                        p.done = j["done"].as_bool();
+                        p.jobs_done = j["jobs_done"].as_int();
+                        p.jobs_resumed = j["jobs_resumed"].as_int();
+                        p.jobs_total = j["jobs_total"].as_int();
+                        p.shots_done = j["shots_done"].as_int();
+                        p.shots_total = j["shots_total"].as_int();
+                        p.wall_ns =
+                            static_cast<uint64_t>(j["wall_ns"].as_int());
+                        p.shots_per_second =
+                            j["shots_per_second"].as_double();
+                        const Json& js = j["stage_ns"];
+                        for (int s = 0; s < telemetry::kStageCount; ++s)
+                            p.stage_ns[s] = static_cast<uint64_t>(
+                                js[telemetry::stage_name(s)].as_int());
+                    } catch (const std::exception&) {
+                        p.valid = false;  // torn/garbled: try previous
+                    }
+                }
+                end = begin == 0 ? 0 : begin - 1;
+            }
+        }
+        out.push_back(p);
+    }
+    return out;
+}
+
+void
+print_status(const CampaignSpec& spec, int n_shards,
+             const std::string& out_dir)
+{
+    const std::vector<ShardProgress> progress =
+        read_progress(spec, n_shards, out_dir);
+    TablePrinter t({"Shard", "State", "Jobs", "Shots", "%", "Shots/s",
+                    "Wall(s)"});
+    int64_t shots_done = 0, shots_total = 0, jobs_done = 0, jobs_total = 0;
+    uint64_t stage_ns[telemetry::kStageCount] = {0, 0, 0, 0};
+    int reporting = 0;
+    for (const ShardProgress& p : progress) {
+        if (!p.valid) {
+            t.add_row({std::to_string(p.shard), "no data", "-", "-", "-",
+                       "-", "-"});
+            continue;
+        }
+        ++reporting;
+        shots_done += p.shots_done;
+        shots_total += p.shots_total;
+        jobs_done += p.jobs_done;
+        jobs_total += p.jobs_total;
+        for (int s = 0; s < telemetry::kStageCount; ++s)
+            stage_ns[s] += p.stage_ns[s];
+        const double pct =
+            p.shots_total > 0 ? 100.0 * static_cast<double>(p.shots_done) /
+                                    static_cast<double>(p.shots_total)
+                              : 100.0;
+        t.add_row({std::to_string(p.shard), p.done ? "done" : "running",
+                   std::to_string(p.jobs_done) + "/" +
+                       std::to_string(p.jobs_total),
+                   std::to_string(p.shots_done) + "/" +
+                       std::to_string(p.shots_total),
+                   TablePrinter::fmt(pct, 1),
+                   TablePrinter::fmt(p.shots_per_second, 0),
+                   TablePrinter::fmt(static_cast<double>(p.wall_ns) * 1e-9,
+                                     1)});
+    }
+    t.print();
+
+    const double pct =
+        shots_total > 0 ? 100.0 * static_cast<double>(shots_done) /
+                              static_cast<double>(shots_total)
+                        : 0.0;
+    std::printf("fleet: %d/%d shard(s) reporting, jobs %lld/%lld, shots "
+                "%lld/%lld (%.1f%%)\n",
+                reporting, n_shards, static_cast<long long>(jobs_done),
+                static_cast<long long>(jobs_total),
+                static_cast<long long>(shots_done),
+                static_cast<long long>(shots_total), pct);
+    uint64_t total_ns = 0;
+    for (int s = 0; s < telemetry::kStageCount; ++s)
+        total_ns += stage_ns[s];
+    if (total_ns > 0) {
+        std::printf("stage split:");
+        for (int s = 0; s < telemetry::kStageCount; ++s)
+            std::printf(" %s %.1f%%", telemetry::stage_name(s),
+                        100.0 * static_cast<double>(stage_ns[s]) /
+                            static_cast<double>(total_ns));
+        std::printf("\n");
+    }
+}
+
+// --- Heatmaps. ---
+
+telemetry::Heatmap
+merge_job_heatmap(const CampaignSpec& spec, int n_shards,
+                  const std::string& out_dir, int job_index)
+{
+    ShardPlan::validate(0, n_shards);
+    const std::vector<JobSpec> jobs = spec.expand();
+    if (job_index < 0 || job_index >= static_cast<int>(jobs.size()))
+        throw std::runtime_error("heatmap: job index " +
+                                 std::to_string(job_index) +
+                                 " outside [0, " +
+                                 std::to_string(jobs.size()) + ")");
+    const JobSpec& job = jobs[static_cast<size_t>(job_index)];
+    const std::string want_hash = io::u64_to_hex(io::config_hash(job.cfg));
+    telemetry::Heatmap merged;
+    bool found = false;
+    for (int shard = 0; shard < n_shards; ++shard) {
+        const std::string path =
+            telemetry_path(out_dir, spec, job_index, shard, n_shards);
+        if (!io::file_exists(path))
+            continue;
+        const Json j = Json::parse(io::read_file(path));
+        if (j["config_hash"].as_str() != want_hash)
+            throw std::runtime_error(
+                "heatmap: " + path + " was produced under a different "
+                "config (hash " + j["config_hash"].as_str() + ", want " +
+                want_hash + "); re-run that shard");
+        if (!j.has("heatmap"))
+            continue;
+        const telemetry::Heatmap h =
+            telemetry::Heatmap::from_json(j["heatmap"]);
+        if (!found) {
+            merged = h;
+            found = true;
+        } else {
+            merged.merge(h);
+        }
+    }
+    if (!found)
+        throw std::runtime_error(
+            "heatmap: no shard telemetry carries a heatmap for job " +
+            std::to_string(job_index) +
+            " (run the campaign with --heatmap first)");
+    return merged;
+}
+
+int
+write_job_heatmaps(const CampaignSpec& spec, int n_shards,
+                   const std::string& out_dir)
+{
+    const std::vector<JobSpec> jobs = spec.expand();
+    int written = 0;
+    for (const JobSpec& job : jobs) {
+        telemetry::Heatmap h;
+        try {
+            h = merge_job_heatmap(spec, n_shards, out_dir, job.index);
+        } catch (const std::exception&) {
+            continue;  // no heatmap telemetry for this job
+        }
+        uint64_t leaked_qubit_rounds = 0;
+        for (uint64_t c : h.counts)
+            leaked_qubit_rounds += c;
+        Json out = Json::object();
+        out.set("gld_version", Json::integer(io::kSerializeVersion));
+        out.set("campaign", Json::str(spec.name));
+        out.set("job", Json::integer(job.index));
+        out.set("code", Json::str(job.code));
+        out.set("policy", Json::str(job.policy));
+        out.set("config_hash",
+                Json::str(io::u64_to_hex(io::config_hash(job.cfg))));
+        out.set("n_shards", Json::integer(n_shards));
+        out.set("heatmap", h.to_json());
+        const std::string path = heatmap_path(out_dir, spec, job.index);
+        io::write_file_atomic(path, out.dump(2) + "\n");
+        std::printf("merged heatmap job %04d [%s / %s]: %d round(s) x %d "
+                    "qubit(s), %llu leaked qubit-rounds -> %s\n",
+                    job.index, job.code.c_str(), job.policy.c_str(),
+                    h.rounds, h.n_qubits(),
+                    static_cast<unsigned long long>(leaked_qubit_rounds),
+                    path.c_str());
+        ++written;
+    }
+    if (written == 0)
+        throw std::runtime_error(
+            "heatmap: no heatmap telemetry found for campaign \"" +
+            spec.name + "\" in " + out_dir +
+            " (run with --heatmap first)");
+    return written;
 }
 
 }  // namespace campaign

@@ -124,6 +124,48 @@ struct ShardPlan {
 };
 
 /**
+ * Measured-throughput calibration for the campaign cost model (the
+ * telemetry -> planner feedback loop): shots per WALL second per
+ * (backend, code), keyed "backend/code" (e.g. "frame/surface:5"),
+ * typically built from the per-job telemetry exports of a completed run
+ * via from_telemetry() (`gld_campaign calibrate`) and fed back into
+ * CampaignPlan::build, which then balances shards on measured seconds
+ * instead of the analytic backend_cost_factor.  Throughput model only —
+ * never result-affecting (the stream->shard assignment changes, the
+ * merged Metrics cannot).
+ */
+struct Calibration {
+    /** shots per wall second, keyed by key(backend, code). */
+    std::map<std::string, double> rates;
+
+    static std::string key(const std::string& backend,
+                           const std::string& code)
+    {
+        return backend + "/" + code;
+    }
+
+    bool empty() const { return rates.empty(); }
+    bool has(const std::string& backend, const std::string& code) const
+    {
+        return rates.count(key(backend, code)) != 0;
+    }
+    /** Throws std::runtime_error naming the missing key. */
+    double rate(const std::string& backend, const std::string& code) const;
+
+    io::Json to_json() const;
+    static Calibration from_json(const io::Json& j);
+
+    /**
+     * Aggregates the campaign's per-job telemetry exports into measured
+     * rates: per (backend, code), total shots / total wall seconds over
+     * every job x shard telemetry file present (files from a different
+     * config hash are skipped).  Throws if no telemetry is found at all.
+     */
+    static Calibration from_telemetry(const CampaignSpec& spec, int n_shards,
+                                      const std::string& out_dir);
+};
+
+/**
  * Cost-balanced campaign shard plan (ROADMAP "backend-aware campaign
  * planning", stage 2): every (job, RNG stream) work item is weighted by
  * its cost units — stream_shots x rounds x backend_cost_factor — and
@@ -163,11 +205,17 @@ struct CampaignPlan {
      * instances (keyed by spec string) instead of discarding them —
      * run_shard reuses them so an executed job never constructs its code
      * a second time.
+     *
+     * With a non-null, non-empty `calib`, stream costs are measured
+     * seconds (stream shots / calibrated shots-per-second) instead of
+     * analytic cost units; every (backend, code) of the spec must have a
+     * calibration entry or build throws naming the missing key.
      */
     static CampaignPlan build(
         const CampaignSpec& spec, int n_shards,
         std::map<std::string, std::shared_ptr<const CodeInstance>>* codes =
-            nullptr);
+            nullptr,
+        const Calibration* calib = nullptr);
 };
 
 /** `<out_dir>/<name>.job####.shard<i>of<N>.json` */
@@ -179,9 +227,44 @@ std::string shard_result_path(const std::string& out_dir,
 std::string merged_result_path(const std::string& out_dir,
                                const CampaignSpec& spec, int job_index);
 
+/** `<out_dir>/<name>.job####.shard<i>of<N>.telemetry.json` */
+std::string telemetry_path(const std::string& out_dir,
+                           const CampaignSpec& spec, int job_index,
+                           int shard, int n_shards);
+
+/** `<out_dir>/<name>.progress.shard<i>of<N>.jsonl` */
+std::string progress_path(const std::string& out_dir,
+                          const CampaignSpec& spec, int shard, int n_shards);
+
+/** `<out_dir>/<name>.job####.heatmap.json` (cross-shard merge). */
+std::string heatmap_path(const std::string& out_dir,
+                         const CampaignSpec& spec, int job_index);
+
 struct RunShardStats {
     int jobs_run = 0;      ///< jobs (re)computed by this call
     int jobs_resumed = 0;  ///< jobs skipped: valid result file present
+};
+
+/**
+ * Observability knobs of run_shard — all pure side channels (Metrics and
+ * result files are bit-identical for every combination; the telemetry
+ * drift gate in tests/test_telemetry.cc pins the runner-level guarantee).
+ */
+struct RunShardOptions {
+    int threads = 0;        ///< worker threads per job (0 = auto)
+    bool verbose = false;   ///< per-job progress lines on stdout
+    int jobs_parallel = 1;  ///< concurrent jobs (each `threads` wide)
+    /**
+     * Collect per-job telemetry (stage timers, leak histogram) and write
+     * `telemetry_path` files plus the `progress_path` heartbeat JSONL
+     * (the `gld_campaign status` feed).  Off = the exact pre-telemetry
+     * run_shard behavior, no extra files.
+     */
+    bool telemetry = true;
+    /** Also collect per-qubit x per-round leakage heatmaps. */
+    bool heatmap = false;
+    /** Measured-throughput cost model for the shard plan (optional). */
+    const Calibration* calibration = nullptr;
 };
 
 /**
@@ -198,14 +281,26 @@ struct RunShardStats {
  * `threads`-wide pool): jobs are independent — separate codes, runners
  * and result files — so a job-level pool layers cleanly on top of the
  * per-job scheduler for grids of many small jobs.  1 = the serial loop.
+ *
+ * With `opt.telemetry` (the default), each executed job also writes a
+ * telemetry JSON beside its result file, and the shard appends heartbeat
+ * lines to its progress JSONL while running — the liveness feed of
+ * `gld_campaign status`.  Resumed jobs keep their existing telemetry
+ * file and count their planned shots as done in the heartbeat.
  */
+RunShardStats run_shard(const CampaignSpec& spec, int shard, int n_shards,
+                        const std::string& out_dir,
+                        const RunShardOptions& opt);
+
+/** Back-compat wrapper: RunShardOptions with telemetry off. */
 RunShardStats run_shard(const CampaignSpec& spec, int shard, int n_shards,
                         const std::string& out_dir, int threads = 0,
                         bool verbose = false, int jobs_parallel = 1);
 
 /**
  * Deletes every shard and merged result file of the campaign in
- * `out_dir` (missing files are fine).  The config hash fingerprints the
+ * `out_dir`, plus all telemetry, progress and merged-heatmap files
+ * (missing files are fine).  The config hash fingerprints the
  * CONFIGURATION, not the code: callers that must reflect the current
  * binary — CI crash gates, the demo self-check, any regenerated figure —
  * should start fresh instead of resuming a possibly stale-binary
@@ -232,9 +327,62 @@ std::vector<Metrics> load_merged(const CampaignSpec& spec,
 /**
  * Prints the aggregated per-job table (FN/FP/LRC per shot, DLP, LER) from
  * the merged result files — the campaign-level replacement for the
- * monolithic bench generators' output.
+ * monolithic bench generators' output.  With n_shards > 0 the table also
+ * carries wall-time and shots/second columns aggregated from the per-job
+ * telemetry exports ("-" for jobs without telemetry files).
  */
-void print_report(const CampaignSpec& spec, const std::string& out_dir);
+void print_report(const CampaignSpec& spec, const std::string& out_dir,
+                  int n_shards = 0);
+
+/**
+ * One shard's liveness snapshot: the last complete line of its progress
+ * JSONL (`valid` false when the file is missing or holds no parseable
+ * line yet — e.g. the shard has not started).
+ */
+struct ShardProgress {
+    int shard = 0;
+    bool valid = false;
+    bool done = false;
+    int64_t jobs_done = 0;
+    int64_t jobs_resumed = 0;
+    int64_t jobs_total = 0;
+    int64_t shots_done = 0;
+    int64_t shots_total = 0;
+    uint64_t wall_ns = 0;
+    double shots_per_second = 0.0;
+    uint64_t stage_ns[4] = {0, 0, 0, 0};  ///< telemetry::kStageCount
+};
+
+/** Reads every shard's latest heartbeat (missing files -> !valid). */
+std::vector<ShardProgress> read_progress(const CampaignSpec& spec,
+                                         int n_shards,
+                                         const std::string& out_dir);
+
+/**
+ * Prints the live fleet table (`gld_campaign status`): one row per shard
+ * plus an aggregated "fleet:" summary line with total shots done /
+ * planned, throughput and the stage-time split.
+ */
+void print_status(const CampaignSpec& spec, int n_shards,
+                  const std::string& out_dir);
+
+/**
+ * Merges job `job_index`'s leakage heatmap across all shard telemetry
+ * files (validating the config hash), returning the cross-shard sum.
+ * Throws if no shard telemetry carries a heatmap for the job — run with
+ * --heatmap first.
+ */
+telemetry::Heatmap merge_job_heatmap(const CampaignSpec& spec, int n_shards,
+                                     const std::string& out_dir,
+                                     int job_index);
+
+/**
+ * Merges + writes `heatmap_path` files for every job with heatmap
+ * telemetry, printing one summary line each; returns the number written.
+ * Throws if NO job has heatmap telemetry (nothing was collected).
+ */
+int write_job_heatmaps(const CampaignSpec& spec, int n_shards,
+                       const std::string& out_dir);
 
 }  // namespace campaign
 }  // namespace gld

@@ -23,4 +23,16 @@ TimingModel::depth_increase(const RoundCircuit& rc,
     return lrcs_per_round_per_qubit * tp_.t_lrc_ns / base_round_ns(rc);
 }
 
+TimingModel::ModelComparison
+TimingModel::compare_round_ns(const OpCounts& round_ops,
+                              double measured_round_ns) const
+{
+    ModelComparison cmp;
+    cmp.modeled_ns = profile_gate_ns(round_ops);
+    cmp.measured_ns = measured_round_ns;
+    cmp.ratio = cmp.modeled_ns > 0.0 ? measured_round_ns / cmp.modeled_ns
+                                     : 0.0;
+    return cmp;
+}
+
 }  // namespace gld

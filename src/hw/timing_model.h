@@ -65,6 +65,22 @@ class TimingModel {
 
     const TimingParams& params() const { return tp_; }
 
+    /**
+     * Measured-vs-modeled round comparison (the telemetry bridge): the
+     * modeled side prices a round's op profile with profile_gate_ns, the
+     * measured side is a wall-clock ns/round from the telemetry stage
+     * timers.  `ratio` is measured/modeled — how many simulated
+     * nanoseconds of work one modeled hardware nanosecond costs on this
+     * host (0 when the model prices the round at 0 ns).
+     */
+    struct ModelComparison {
+        double modeled_ns = 0.0;
+        double measured_ns = 0.0;
+        double ratio = 0.0;
+    };
+    ModelComparison compare_round_ns(const OpCounts& round_ops,
+                                     double measured_round_ns) const;
+
   private:
     TimingParams tp_;
 };

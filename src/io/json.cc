@@ -581,6 +581,22 @@ write_file_atomic(const std::string& path, const std::string& content)
     }
 }
 
+void
+append_line(const std::string& path, const std::string& line)
+{
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr)
+        throw std::runtime_error("cannot open " + path + ": " +
+                                 std::strerror(errno));
+    std::string buf = line;
+    buf += '\n';
+    const size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
+    const bool bad = written != buf.size() || std::fflush(f) != 0;
+    std::fclose(f);
+    if (bad)
+        throw std::runtime_error("write error on " + path);
+}
+
 bool
 file_exists(const std::string& path)
 {

@@ -94,6 +94,14 @@ std::string read_file(const std::string& path);
  */
 void write_file_atomic(const std::string& path, const std::string& content);
 
+/**
+ * Appends one line (a trailing '\n' is added) to a file, creating it if
+ * absent.  A single fwrite of a short line is atomic enough for the
+ * progress JSONL heartbeats (one writer per shard; readers tolerate a
+ * torn final line by parsing the last COMPLETE line).
+ */
+void append_line(const std::string& path, const std::string& line);
+
 /** True if `path` names an existing regular file. */
 bool file_exists(const std::string& path);
 

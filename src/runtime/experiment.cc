@@ -28,7 +28,8 @@ ExperimentRunner::ExperimentRunner(const CodeContext& ctx,
 
 Metrics
 ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
-                            int block, const DecodingGraph* graph) const
+                            int block, const DecodingGraph* graph,
+                            telemetry::Record* telem) const
 {
     const CssCode& code = ctx_->code();
     const int n_data = code.n_data();
@@ -36,6 +37,12 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
     const int total = stream_shots(cfg_, stream);
     const int first = block * kShotBlock;
     const int shots = std::min(kShotBlock, total - first);
+
+    // Telemetry is a pure side channel: the StageClock and the counters
+    // below never draw randomness and never feed a result-bearing sum,
+    // and every call is a no-op when `telem` is null (always the case
+    // with telemetry compiled out or no collector attached).
+    telemetry::StageClock clock(telem);
 
     Metrics m;
     m.rounds_per_shot = cfg_.rounds;
@@ -60,12 +67,16 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
     // A batch-capable backend takes the whole block as one lockstep shot
     // batch (lane k == the scalar path's k-th shot of this block, same
     // derived RNG streams — the Metrics come out bit-identical).
-    if (auto* bsim = dynamic_cast<BatchSimulator*>(sim.get()))
+    if (auto* bsim = dynamic_cast<BatchSimulator*>(sim.get())) {
+        clock.lap(telemetry::kSim);  // batch simulator construction
         return run_block_batch(*bsim, factory, policy_seed, shot_rng, shots,
-                               graph);
+                               graph, telem);
+    }
 
+    clock.lap(telemetry::kSim);  // simulator construction
     std::unique_ptr<Policy> policy = factory(*ctx_, policy_seed);
     policy->set_oracle(sim.get());
+    clock.lap(telemetry::kPolicy);  // policy build
     // Ground truth for the speculation accounting below: the shared
     // LeakageDriver's flag state, read through the one oracle interface
     // instead of per-call virtual hops on the backend.
@@ -78,13 +89,17 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
         z_checks = code.checks_of_type(CheckType::kZ);
     }
     const int nz = static_cast<int>(z_checks.size());
+    clock.lap(telemetry::kDecode);  // decoder construction
 
     std::vector<int> sched_stamp(n_data, -1);
     std::vector<uint8_t> syndrome;
 
     for (int shot = 0; shot < shots; ++shot) {
+        clock.lap(telemetry::kAccounting);
         sim->reset_shot();
+        clock.lap(telemetry::kSim);
         policy->begin_shot();
+        clock.lap(telemetry::kPolicy);
         // Stamps are per shot: a stale stamp from an earlier shot at the
         // same round index would mask that shot's false negatives.
         std::fill(sched_stamp.begin(), sched_stamp.end(), -1);
@@ -94,6 +109,7 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
 
         if (graph != nullptr)
             syndrome.assign(static_cast<size_t>(cfg_.rounds + 1) * nz, 0);
+        clock.lap(telemetry::kSim);
 
         LrcSchedule sched;
         RoundResult rr;
@@ -107,9 +123,12 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
             }
             m.lrc_data_total += static_cast<double>(sched.data_qubits.size());
             m.lrc_check_total += static_cast<double>(sched.checks.size());
+            clock.lap(telemetry::kAccounting);
 
             rr = sim->run_round(sched);
+            clock.lap(telemetry::kSim);
             policy->observe(r, rr, &sched);
+            clock.lap(telemetry::kPolicy);
 
             // False negatives: leaked data qubits the policy did not
             // schedule for mitigation.
@@ -120,13 +139,23 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
                     m.fn_total += 1;
             }
 
-            const double dlp =
-                static_cast<double>(truth.n_data_leaked()) / n_data;
+            // Hoisted oracle read: the same value feeds the DLP sum and
+            // the telemetry histogram (pure read — no draw, no state).
+            const int n_leaked = truth.n_data_leaked();
+            const double dlp = static_cast<double>(n_leaked) / n_data;
             m.dlp_total += dlp;
             if (cfg_.record_dlp_series)
                 m.dlp_series[r] += dlp;
             m.check_leak_total +=
                 static_cast<double>(truth.n_check_leaked()) / n_checks;
+            if (telem != nullptr) {
+                ++telem->leak_hist[static_cast<size_t>(n_leaked)];
+                if (telem->heatmap.enabled()) {
+                    uint64_t* row = telem->heatmap.row(r);
+                    truth.add_leak_occupancy(row, n_data, row + n_data,
+                                             n_checks);
+                }
+            }
 
             if (graph != nullptr) {
                 for (int zi = 0; zi < nz; ++zi) {
@@ -134,10 +163,12 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
                         rr.detector[z_checks[zi]];
                 }
             }
+            clock.lap(telemetry::kAccounting);
         }
 
         if (graph != nullptr) {
             const std::vector<uint8_t> flips = sim->final_data_measure();
+            clock.lap(telemetry::kSim);
             for (int zi = 0; zi < nz; ++zi) {
                 uint8_t det = rr.meas_flip[z_checks[zi]];
                 for (int q : code.check(z_checks[zi]).support)
@@ -147,12 +178,21 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
             uint8_t observed = 0;
             for (int q : code.logical_z())
                 observed ^= flips[q];
+            clock.lap(telemetry::kAccounting);
             const bool predicted = decoder->decode(syndrome);
+            clock.lap(telemetry::kDecode);
             if ((observed != 0) != predicted)
                 ++m.logical_errors;
             ++m.decoded_shots;
         }
         ++m.shots;
+    }
+    if (telem != nullptr) {
+        telem->shots += static_cast<uint64_t>(shots);
+        telem->rounds += static_cast<uint64_t>(shots) *
+                         static_cast<uint64_t>(cfg_.rounds);
+        telem->blocks += 1;
+        clock.lap(telemetry::kAccounting);
     }
     return m;
 }
@@ -162,7 +202,8 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
                                   const PolicyFactory& factory,
                                   uint64_t policy_seed, Rng shot_rng,
                                   int shots,
-                                  const DecodingGraph* graph) const
+                                  const DecodingGraph* graph,
+                                  telemetry::Record* telem) const
 {
     const CssCode& code = ctx_->code();
     const int n_data = code.n_data();
@@ -170,6 +211,12 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
     const int width = sim.batch_width();
     const int max_lanes = std::min(width, shots);
     const int rounds = cfg_.rounds;
+
+    // Same pure-side-channel contract as the scalar path; the batch
+    // flavour reads the heatmap and the leak histogram off the ground
+    // truth leak WORDS (one popcount per qubit instead of 64 oracle
+    // walks), which is a read-only view of the same flags.
+    telemetry::StageClock clock(telem);
 
     Metrics m;
     m.rounds_per_shot = rounds;
@@ -187,6 +234,7 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
         policies.push_back(factory(*ctx_, policy_seed));
         policies.back()->set_leak_oracle(&sim.lane_oracle(l));
     }
+    clock.lap(telemetry::kPolicy);  // per-lane policy builds
 
     std::unique_ptr<UnionFindDecoder> decoder;
     std::vector<int> z_checks;
@@ -195,6 +243,7 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
         z_checks = code.checks_of_type(CheckType::kZ);
     }
     const int nz = static_cast<int>(z_checks.size());
+    clock.lap(telemetry::kDecode);  // decoder construction
 
     std::vector<LrcSchedule> scheds(static_cast<size_t>(max_lanes));
     std::vector<RoundResult> rr;
@@ -236,6 +285,7 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
                     static_cast<size_t>(rounds + 1) * static_cast<size_t>(nz),
                     0);
         }
+        clock.lap(telemetry::kSim);  // batch reset + leak injection
 
         for (int r = 0; r < rounds; ++r) {
             // Account the LRCs about to be applied against each lane's
@@ -254,13 +304,16 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
                 m.lrc_check_total +=
                     static_cast<double>(scheds[li].checks.size());
             }
+            clock.lap(telemetry::kAccounting);
 
             sim.run_round_batch(scheds, &rr);
+            clock.lap(telemetry::kSim);
 
             for (int l = 0; l < lanes; ++l)
                 policies[static_cast<size_t>(l)]->observe(
                     r, rr[static_cast<size_t>(l)],
                     &scheds[static_cast<size_t>(l)]);
+            clock.lap(telemetry::kPolicy);
 
             // False negatives + leak populations, word-wide: one pass
             // over the leak words replaces 64 per-lane oracle walks.
@@ -287,6 +340,24 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
                     ++check_leaked[static_cast<size_t>(l)];
                 });
             }
+            if (telem != nullptr) {
+                // End-of-round leak populations, word-wide: the histogram
+                // reuses the per-lane counts computed above, the heatmap
+                // is one popcount per qubit column.
+                for (int l = 0; l < lanes; ++l)
+                    ++telem->leak_hist[static_cast<size_t>(
+                        data_leaked[static_cast<size_t>(l)])];
+                if (telem->heatmap.enabled()) {
+                    uint64_t* row = telem->heatmap.row(r);
+                    for (int q = 0; q < n_data; ++q)
+                        row[q] += static_cast<uint64_t>(
+                            __builtin_popcountll(leak_words[q] & lanes_mask));
+                    uint64_t* crow = row + n_data;
+                    for (int c = 0; c < n_checks; ++c)
+                        crow[c] += static_cast<uint64_t>(__builtin_popcountll(
+                            leak_words[code.ancilla_of(c)] & lanes_mask));
+                }
+            }
             for (int l = 0; l < lanes; ++l) {
                 const size_t li = static_cast<size_t>(l);
                 dlp_buf[li][static_cast<size_t>(r)] =
@@ -303,10 +374,13 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
                     }
                 }
             }
+            clock.lap(telemetry::kAccounting);
         }
 
-        if (graph != nullptr)
+        if (graph != nullptr) {
             sim.final_data_measure_batch(&flips);
+            clock.lap(telemetry::kSim);
+        }
 
         // Shot-major replay of the per-shot tail: the float sums in the
         // scalar accumulation order, then decode + shot counters.
@@ -332,13 +406,22 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
                 uint8_t observed = 0;
                 for (int q : code.logical_z())
                     observed ^= flips[li][static_cast<size_t>(q)];
+                clock.lap(telemetry::kAccounting);
                 const bool predicted = decoder->decode(syndrome[li]);
+                clock.lap(telemetry::kDecode);
                 if ((observed != 0) != predicted)
                     ++m.logical_errors;
                 ++m.decoded_shots;
             }
             ++m.shots;
         }
+    }
+    if (telem != nullptr) {
+        telem->shots += static_cast<uint64_t>(shots);
+        telem->rounds +=
+            static_cast<uint64_t>(shots) * static_cast<uint64_t>(rounds);
+        telem->blocks += 1;
+        clock.lap(telemetry::kAccounting);
     }
     return m;
 }
@@ -408,10 +491,30 @@ ExperimentRunner::run_partials(const PolicyFactory& factory,
             units.push_back({i, streams[i], b});
     }
 
+    // Telemetry rides along per work unit and is merged by the collector
+    // in (stream, block) order, so the deterministic aggregates (shot /
+    // round counts, leak histogram, heatmap) are as thread-count-
+    // independent as the Metrics themselves.
+    telemetry::Collector* collector =
+        telemetry::kCompiledIn ? telemetry_ : nullptr;
+    const int n_data = ctx_->code().n_data();
+    const int n_checks = ctx_->code().n_checks();
+
     std::vector<Metrics> unit_parts(units.size());
     parallel_for_dynamic(units.size(), cfg_.threads, [&](size_t u) {
-        unit_parts[u] = run_block(factory, units[u].stream, units[u].block,
-                                  graph_.get());
+        if (collector != nullptr) {
+            telemetry::Record rec;
+            rec.leak_hist.assign(static_cast<size_t>(n_data) + 1, 0);
+            if (collector->heatmap())
+                rec.heatmap.init(cfg_.rounds, n_data, n_checks);
+            unit_parts[u] = run_block(factory, units[u].stream,
+                                      units[u].block, graph_.get(), &rec);
+            collector->record_unit(units[u].stream, units[u].block,
+                                   std::move(rec));
+        } else {
+            unit_parts[u] = run_block(factory, units[u].stream,
+                                      units[u].block, graph_.get(), nullptr);
+        }
     });
 
     // Fold each stream's block partials in block order (units were built

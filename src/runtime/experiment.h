@@ -11,6 +11,7 @@
 #include "noise/noise_model.h"
 #include "runtime/metrics.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 
 namespace gld {
@@ -114,17 +115,31 @@ class ExperimentRunner {
     const CodeContext& ctx() const { return *ctx_; }
     const ExperimentConfig& config() const { return cfg_; }
 
+    /**
+     * Attaches a telemetry collector observing subsequent run() /
+     * run_partials() calls (nullptr detaches).  Pure side channel
+     * (src/telemetry/telemetry.h): stage timers, counters and the
+     * optional leakage heatmap are recorded per (stream, block) work
+     * unit WITHOUT touching any RNG draw or result-bearing sum, so
+     * Metrics are bit-identical with or without a collector — enforced
+     * by the telemetry drift gate in tests/test_telemetry.cc.
+     */
+    void set_telemetry(telemetry::Collector* col) { telemetry_ = col; }
+
   private:
     Metrics run_block(const PolicyFactory& factory, int stream, int block,
-                      const DecodingGraph* graph) const;
+                      const DecodingGraph* graph,
+                      telemetry::Record* telem) const;
     Metrics run_block_batch(class BatchSimulator& sim,
                             const PolicyFactory& factory,
                             uint64_t policy_seed, Rng shot_rng, int shots,
-                            const DecodingGraph* graph) const;
+                            const DecodingGraph* graph,
+                            telemetry::Record* telem) const;
 
     const CodeContext* ctx_;
     ExperimentConfig cfg_;
     std::shared_ptr<DecodingGraph> graph_;  ///< built once if compute_ler
+    telemetry::Collector* telemetry_ = nullptr;  ///< optional side channel
 };
 
 /** Convenience: factories for every policy the paper evaluates. */

@@ -64,6 +64,17 @@ LeakageDriver::n_check_leaked() const
 }
 
 void
+LeakageDriver::add_leak_occupancy(uint64_t* data_row, int n_data,
+                                  uint64_t* check_row, int n_checks) const
+{
+    for (int q = 0; q < n_data; ++q)
+        data_row[q] += leaked_[static_cast<size_t>(q)];
+    for (int c = 0; c < n_checks; ++c)
+        check_row[c] +=
+            leaked_[static_cast<size_t>(code_->ancilla_of(c))];
+}
+
+void
 LeakageDriver::depolarize1(int q)
 {
     if (!rng_.bernoulli(np_.p))

@@ -143,6 +143,12 @@ class LeakageDriver final : public LeakageOracle {
     }
     int n_data_leaked() const override;
     int n_check_leaked() const override;
+    /** Heatmap row accumulation as one pass over the flag array (the
+     *  layout is data qubits [0, n_data) then ancillas, so both halves
+     *  come from a single walk instead of 2 x n virtual calls). */
+    void add_leak_occupancy(uint64_t* data_row, int n_data,
+                            uint64_t* check_row,
+                            int n_checks) const override;
 
     /**
      * Applies the scheduled LRC gadgets (start-of-round semantics), then

@@ -45,6 +45,20 @@ throw_unknown_backend(const std::string& what)
 
 }  // namespace
 
+void
+LeakageOracle::add_leak_occupancy(uint64_t* data_row, int n_data,
+                                  uint64_t* check_row, int n_checks) const
+{
+    for (int q = 0; q < n_data; ++q) {
+        if (data_leaked(q))
+            ++data_row[q];
+    }
+    for (int c = 0; c < n_checks; ++c) {
+        if (check_leaked(c))
+            ++check_row[c];
+    }
+}
+
 const char*
 backend_name(SimBackend backend)
 {

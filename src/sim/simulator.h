@@ -50,6 +50,20 @@ class LeakageOracle {
     virtual int n_data_leaked() const = 0;
     /** Number of currently-leaked ancilla qubits. */
     virtual int n_check_leaked() const = 0;
+
+    /**
+     * Telemetry hook (src/telemetry/): adds 1 to data_row[q] for every
+     * currently-leaked data qubit q in [0, n_data) and to check_row[c]
+     * for every leaked check ancilla c in [0, n_checks) — one row of the
+     * per-qubit x per-round leakage-occupancy heatmap.  Pure read of the
+     * ground-truth flags: never draws randomness, never mutates state,
+     * so attaching it cannot perturb a run (the telemetry drift gate
+     * pins this).  The default walks the boolean oracle interface;
+     * LeakageDriver overrides it with a direct pass over its flag array.
+     */
+    virtual void add_leak_occupancy(uint64_t* data_row, int n_data,
+                                    uint64_t* check_row,
+                                    int n_checks) const;
 };
 
 /**

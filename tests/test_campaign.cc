@@ -448,6 +448,188 @@ TEST(Merge, RefusesMissingShardsAndForeignConfigs)
     EXPECT_THROW(merge_campaign(swapped, 2, dir), std::runtime_error);
 }
 
+// --- Telemetry, liveness and calibration (the observability layer). ---
+
+TEST(Observability, TelemetryIsAPureSideChannelAtTheCampaignLevel)
+{
+    // run_shard with telemetry + heatmaps on vs the legacy (telemetry
+    // off) entry point: the merged Metrics must be bit-identical — the
+    // campaign-level extension of the runner drift gate.
+    const CampaignSpec spec = small_spec("side_channel");
+    const int n_shards = 2;
+    const std::string dir_on = fresh_dir("side_channel_on");
+    const std::string dir_off = fresh_dir("side_channel_off");
+
+    RunShardOptions opt;
+    opt.threads = 2;
+    opt.heatmap = true;
+    ASSERT_TRUE(opt.telemetry);
+    for (int shard = 0; shard < n_shards; ++shard) {
+        run_shard(spec, shard, n_shards, dir_on, opt);
+        run_shard(spec, shard, n_shards, dir_off, /*threads=*/2);
+    }
+    const std::vector<Metrics> on = merge_campaign(spec, n_shards, dir_on);
+    const std::vector<Metrics> off = merge_campaign(spec, n_shards, dir_off);
+    ASSERT_EQ(on.size(), off.size());
+    for (size_t i = 0; i < on.size(); ++i) {
+        SCOPED_TRACE(i);
+        expect_metrics_identical(off[i], on[i]);
+    }
+}
+
+TEST(Observability, ProgressHeatmapAndCalibrationEndToEnd)
+{
+    if (!telemetry::kCompiledIn)
+        GTEST_SKIP() << "built with GLD_TELEMETRY=OFF";
+    const CampaignSpec spec = small_spec("observe");
+    const int n_shards = 3;
+    const std::string dir = fresh_dir("observe");
+    const std::vector<JobSpec> jobs = spec.expand();
+
+    RunShardOptions opt;
+    opt.threads = 2;
+    opt.heatmap = true;
+    for (int shard = 0; shard < n_shards; ++shard)
+        run_shard(spec, shard, n_shards, dir, opt);
+
+    // Liveness: every shard's heartbeat file ends in a done snapshot, and
+    // the fleet totals cover every (job, shot) exactly once.
+    const std::vector<ShardProgress> progress =
+        read_progress(spec, n_shards, dir);
+    ASSERT_EQ(progress.size(), static_cast<size_t>(n_shards));
+    int64_t shots_done = 0;
+    int64_t jobs_done = 0;
+    uint64_t stage_total = 0;
+    for (const ShardProgress& p : progress) {
+        SCOPED_TRACE(p.shard);
+        EXPECT_TRUE(p.valid);
+        EXPECT_TRUE(p.done);
+        EXPECT_EQ(p.jobs_done, static_cast<int64_t>(jobs.size()));
+        EXPECT_EQ(p.jobs_resumed, 0);
+        EXPECT_EQ(p.shots_done, p.shots_total);
+        shots_done += p.shots_done;
+        jobs_done += p.jobs_done;
+        for (uint64_t ns : p.stage_ns)
+            stage_total += ns;
+    }
+    EXPECT_EQ(shots_done,
+              static_cast<int64_t>(jobs.size()) * spec.shots);
+    EXPECT_EQ(jobs_done, static_cast<int64_t>(jobs.size()) * n_shards);
+    EXPECT_GT(stage_total, 0u);  // executed shards carry a stage split
+    EXPECT_NO_THROW(print_status(spec, n_shards, dir));
+
+    // A never-started fleet reads as not-valid, it does not throw.
+    const std::vector<ShardProgress> cold =
+        read_progress(spec, n_shards, fresh_dir("observe_cold"));
+    for (const ShardProgress& p : cold)
+        EXPECT_FALSE(p.valid);
+
+    // Heatmaps: the cross-shard merge has the job's geometry and counts
+    // every leaked data qubit-round the resumable results saw.
+    const auto code = make_code(jobs[0].code);
+    const telemetry::Heatmap hm =
+        merge_job_heatmap(spec, n_shards, dir, /*job_index=*/0);
+    EXPECT_EQ(hm.rounds, spec.rounds);
+    EXPECT_EQ(hm.n_data, code->code.n_data());
+    EXPECT_EQ(hm.n_checks, code->code.n_checks());
+    uint64_t occupancy = 0;
+    for (uint64_t c : hm.counts)
+        occupancy += c;
+    EXPECT_GT(occupancy, 0u);  // leakage sampling guarantees leaks
+    EXPECT_EQ(write_job_heatmaps(spec, n_shards, dir),
+              static_cast<int>(jobs.size()));
+
+    // Calibration closes the loop: telemetry -> measured rates -> plan.
+    const Calibration calib =
+        Calibration::from_telemetry(spec, n_shards, dir);
+    ASSERT_TRUE(calib.has("frame", "surface:3"));
+    EXPECT_GT(calib.rate("frame", "surface:3"), 0.0);
+    EXPECT_THROW(calib.rate("tableau", "surface:3"), std::runtime_error);
+
+    const Calibration back =
+        Calibration::from_json(io::Json::parse(calib.to_json().dump(2)));
+    ASSERT_EQ(back.rates.size(), calib.rates.size());
+    expect_bits_eq(back.rate("frame", "surface:3"),
+                   calib.rate("frame", "surface:3"),
+                   "calibration json round trip");
+
+    // The calibrated plan is deterministic and still a partition: every
+    // stream of every job on exactly one shard.
+    const CampaignPlan plan =
+        CampaignPlan::build(spec, n_shards, nullptr, &calib);
+    const CampaignPlan again =
+        CampaignPlan::build(spec, n_shards, nullptr, &calib);
+    for (const JobSpec& job : jobs) {
+        const int total = ExperimentRunner::n_streams(job.cfg);
+        std::vector<int> seen(static_cast<size_t>(total), 0);
+        for (int shard = 0; shard < n_shards; ++shard) {
+            EXPECT_EQ(plan.streams_for(job.index, shard),
+                      again.streams_for(job.index, shard));
+            for (int s : plan.streams_for(job.index, shard))
+                ++seen[static_cast<size_t>(s)];
+        }
+        for (int s = 0; s < total; ++s)
+            EXPECT_EQ(seen[static_cast<size_t>(s)], 1)
+                << "job " << job.index << " stream " << s;
+    }
+    // An empty calibration falls back to the analytic cost model instead
+    // of throwing on its (absent) keys.
+    const Calibration none;
+    EXPECT_NO_THROW(CampaignPlan::build(spec, n_shards, nullptr, &none));
+    // A backend the calibration has no measurement for is an error, not
+    // a silent fallback.
+    CampaignSpec tableau_spec = spec;
+    tableau_spec.backend = SimBackend::kTableau;
+    EXPECT_THROW(
+        CampaignPlan::build(tableau_spec, n_shards, nullptr, &calib),
+        std::runtime_error);
+
+    // Foreign-config telemetry is skipped, so a changed campaign finds
+    // no usable telemetry or heatmaps in the same directory.
+    CampaignSpec changed = spec;
+    changed.rounds += 1;
+    EXPECT_THROW(Calibration::from_telemetry(changed, n_shards, dir),
+                 std::runtime_error);
+    EXPECT_THROW(merge_job_heatmap(changed, n_shards, dir, 0),
+                 std::runtime_error);
+
+    // remove_results clears the observability files too: a fresh status
+    // read sees a cold fleet and calibrate finds nothing.
+    remove_results(spec, n_shards, dir);
+    for (const ShardProgress& p : read_progress(spec, n_shards, dir))
+        EXPECT_FALSE(p.valid);
+    EXPECT_THROW(Calibration::from_telemetry(spec, n_shards, dir),
+                 std::runtime_error);
+}
+
+TEST(Observability, ResumedJobsKeepTelemetryAndReportPlannedShots)
+{
+    if (!telemetry::kCompiledIn)
+        GTEST_SKIP() << "built with GLD_TELEMETRY=OFF";
+    const CampaignSpec spec = small_spec("observe_resume");
+    const std::string dir = fresh_dir("observe_resume");
+    RunShardOptions opt;
+    opt.threads = 1;
+    opt.heatmap = true;
+    run_shard(spec, 0, 2, dir, opt);
+    const Calibration first = Calibration::from_telemetry(spec, 2, dir);
+
+    // Second run resumes everything: telemetry files survive untouched,
+    // and the heartbeat still reports the full planned shot count.
+    const RunShardStats stats = run_shard(spec, 0, 2, dir, opt);
+    EXPECT_EQ(stats.jobs_run, 0);
+    EXPECT_EQ(stats.jobs_resumed, 2);
+    const Calibration second = Calibration::from_telemetry(spec, 2, dir);
+    expect_bits_eq(second.rate("frame", "surface:3"),
+                   first.rate("frame", "surface:3"),
+                   "telemetry survives resume");
+    const std::vector<ShardProgress> progress = read_progress(spec, 2, dir);
+    ASSERT_TRUE(progress[0].valid);
+    EXPECT_TRUE(progress[0].done);
+    EXPECT_EQ(progress[0].jobs_resumed, 2);
+    EXPECT_EQ(progress[0].shots_done, progress[0].shots_total);
+}
+
 }  // namespace
 }  // namespace campaign
 }  // namespace gld

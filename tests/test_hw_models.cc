@@ -103,6 +103,26 @@ TEST(TimingModel, ProfileGateTimeConsumesDriverOpCounts)
     EXPECT_GT(tm.profile_gate_ns(profile.quiet), tm.base_round_ns(rc));
 }
 
+TEST(TimingModel, CompareRoundNsMeasuredOverModeled)
+{
+    // The telemetry bridge: measured wall ns/round (stage timers) against
+    // the op-profile-priced model.
+    const TimingModel tm;
+    OpCounts ops;
+    ops.cnots = 4;  // 4 * 25 = 100 modeled ns
+    const TimingModel::ModelComparison cmp =
+        tm.compare_round_ns(ops, /*measured_round_ns=*/250.0);
+    EXPECT_DOUBLE_EQ(cmp.modeled_ns, 100.0);
+    EXPECT_DOUBLE_EQ(cmp.measured_ns, 250.0);
+    EXPECT_DOUBLE_EQ(cmp.ratio, 2.5);
+
+    // A zero-priced profile yields ratio 0, not a division by zero.
+    const TimingModel::ModelComparison zero =
+        tm.compare_round_ns(OpCounts{}, 123.0);
+    EXPECT_DOUBLE_EQ(zero.modeled_ns, 0.0);
+    EXPECT_DOUBLE_EQ(zero.ratio, 0.0);
+}
+
 TEST(TimingModel, LrcLatencyProportionalToCount)
 {
     TimingModel tm;

@@ -58,6 +58,18 @@ usage(const char* argv0)
         "                       bit-exactly (same RNG contract) or by\n"
         "                       z-tests at --alpha; nonzero exit on any\n"
         "                       confirmed mismatch\n"
+        "  status               live fleet progress: per-shard heartbeat\n"
+        "                       table + aggregated shots/s and stage\n"
+        "                       split (reads the progress JSONL files a\n"
+        "                       telemetry-enabled run appends to)\n"
+        "  heatmap              merge each job's per-qubit x per-round\n"
+        "                       leakage heatmap across shards (needs a\n"
+        "                       run with --heatmap) and write\n"
+        "                       <name>.job####.heatmap.json files\n"
+        "  calibrate            aggregate measured shots/second per\n"
+        "                       (backend, code) from the telemetry files\n"
+        "                       into a calibration JSON for plan/run\n"
+        "                       --calibration\n"
         "\n"
         "options:\n"
         "  --spec <file>        campaign spec JSON (plan/run/merge/report;\n"
@@ -73,6 +85,16 @@ usage(const char* argv0)
         "  --backend <name>     simulation backend: %s\n"
         "                       (overrides the spec; changes every job's\n"
         "                       config hash, so results never mix)\n"
+        "  --no-telemetry       disable the telemetry side channel (run/\n"
+        "                       demo; results are bit-identical either\n"
+        "                       way — telemetry only adds stage timers,\n"
+        "                       progress heartbeats and export files)\n"
+        "  --heatmap            also collect per-qubit x per-round\n"
+        "                       leakage heatmaps (run; demo always does)\n"
+        "  --calibration <file> measured-throughput calibration JSON (see\n"
+        "                       `calibrate`): plan/run balance shards on\n"
+        "                       measured seconds instead of the analytic\n"
+        "                       cost model (never result-affecting)\n"
         "  -v                   verbose per-job progress\n"
         "\n"
         "verify options:\n"
@@ -104,6 +126,9 @@ struct Args {
     int threads = 0;
     int jobs_parallel = 1;
     bool verbose = false;
+    bool no_telemetry = false;
+    bool heatmap = false;
+    std::string calibration_path;
     // verify options.
     std::string reference = "frame";
     std::string candidates;  ///< comma-separated; empty = all others
@@ -150,6 +175,12 @@ parse_args(int argc, char** argv)
             a.n_shards = std::stoi(v.substr(slash + 1));
         } else if (arg == "-v" || arg == "--verbose") {
             a.verbose = true;
+        } else if (arg == "--no-telemetry") {
+            a.no_telemetry = true;
+        } else if (arg == "--heatmap") {
+            a.heatmap = true;
+        } else if (arg == "--calibration") {
+            a.calibration_path = need_value("--calibration");
         } else if (arg == "--reference") {
             a.reference = need_value("--reference");
             backend_from_name(a.reference);  // validate early
@@ -184,6 +215,17 @@ load_spec(const Args& a)
     if (!a.backend.empty())
         spec.backend = backend_from_name(a.backend);
     return spec;
+}
+
+/** Loads --calibration when given; empty otherwise. */
+campaign::Calibration
+load_calibration(const Args& a)
+{
+    campaign::Calibration cal;
+    if (!a.calibration_path.empty())
+        cal = campaign::Calibration::from_json(
+            io::Json::parse(io::read_file(a.calibration_path)));
+    return cal;
 }
 
 CampaignSpec
@@ -225,12 +267,14 @@ cmd_plan(const Args& a)
     // exactly what `run --shard i/N` will do.  The per-job "Cost x"
     // column is backend_cost_factor straight from the backend table —
     // one source of truth, no factor strings duplicated here.
-    const campaign::CampaignPlan plan =
-        campaign::CampaignPlan::build(spec, a.n_shards);
+    const campaign::Calibration cal = load_calibration(a);
+    const campaign::CampaignPlan plan = campaign::CampaignPlan::build(
+        spec, a.n_shards, nullptr, cal.empty() ? nullptr : &cal);
 
-    std::printf("campaign \"%s\" [%s backend]: %zu job(s), %d shard(s)\n\n",
+    std::printf("campaign \"%s\" [%s backend]: %zu job(s), %d shard(s)%s\n\n",
                 spec.name.c_str(), backend_name(spec.backend), jobs.size(),
-                a.n_shards);
+                a.n_shards,
+                cal.empty() ? "" : " — measured-throughput cost model");
     TablePrinter t({"Job", "Code", "Policy", "p", "lr", "Shots", "Rounds",
                     "Streams", "Cost x", "Seed"});
     for (const JobSpec& job : jobs) {
@@ -250,8 +294,9 @@ cmd_plan(const Args& a)
     }
     t.print();
 
-    std::printf("\nper-shard load, greedy-LPT balanced (cost unit: one "
-                "frame-backend round of one shot):\n");
+    std::printf("\nper-shard load, greedy-LPT balanced (cost unit: %s):\n",
+                cal.empty() ? "one frame-backend round of one shot"
+                            : "one measured wall second");
     for (int shard = 0; shard < a.n_shards; ++shard) {
         std::printf("  shard %d/%d: %ld shot(s), %.2f cost unit(s)\n",
                     shard, a.n_shards,
@@ -276,9 +321,16 @@ cmd_run(const Args& a)
                 "%s%s\n",
                 spec.name.c_str(), backend_name(spec.backend), a.shard,
                 a.n_shards, a.out_dir.c_str(), pool_note.c_str());
+    const campaign::Calibration cal = load_calibration(a);
+    campaign::RunShardOptions opt;
+    opt.threads = a.threads;
+    opt.verbose = a.verbose;
+    opt.jobs_parallel = a.jobs_parallel;
+    opt.telemetry = !a.no_telemetry;
+    opt.heatmap = a.heatmap;
+    opt.calibration = cal.empty() ? nullptr : &cal;
     const campaign::RunShardStats stats =
-        campaign::run_shard(spec, a.shard, a.n_shards, a.out_dir, a.threads,
-                            a.verbose, a.jobs_parallel);
+        campaign::run_shard(spec, a.shard, a.n_shards, a.out_dir, opt);
     std::printf("shard %d/%d done: %d job(s) run, %d resumed from "
                 "checkpoint\n",
                 a.shard, a.n_shards, stats.jobs_run, stats.jobs_resumed);
@@ -304,7 +356,52 @@ cmd_report(const Args& a)
     const CampaignSpec spec = load_spec(a);
     std::printf("campaign \"%s\" — aggregated results\n\n",
                 spec.name.c_str());
-    campaign::print_report(spec, a.out_dir);
+    // --shards N adds the telemetry columns (wall time, shots/s) when
+    // the per-job telemetry exports are present.
+    campaign::print_report(spec, a.out_dir, a.n_shards);
+    return 0;
+}
+
+int
+cmd_status(const Args& a)
+{
+    const CampaignSpec spec = load_spec(a);
+    std::printf("campaign \"%s\" — fleet status (%d shard(s), %s)\n\n",
+                spec.name.c_str(), a.n_shards, a.out_dir.c_str());
+    campaign::print_status(spec, a.n_shards, a.out_dir);
+    return 0;
+}
+
+int
+cmd_heatmap(const Args& a)
+{
+    const CampaignSpec spec = load_spec(a);
+    std::printf("campaign \"%s\" — merging leakage heatmaps from %d "
+                "shard(s)\n",
+                spec.name.c_str(), a.n_shards);
+    const int written =
+        campaign::write_job_heatmaps(spec, a.n_shards, a.out_dir);
+    std::printf("%d heatmap file(s) written\n", written);
+    return 0;
+}
+
+int
+cmd_calibrate(const Args& a)
+{
+    const CampaignSpec spec = load_spec(a);
+    const campaign::Calibration cal =
+        campaign::Calibration::from_telemetry(spec, a.n_shards, a.out_dir);
+    const std::string path =
+        a.calibration_path.empty()
+            ? a.out_dir + "/" + spec.name + ".calibration.json"
+            : a.calibration_path;
+    io::write_file_atomic(path, cal.to_json().dump(2) + "\n");
+    std::printf("calibration from campaign \"%s\" (%d shard(s)):\n",
+                spec.name.c_str(), a.n_shards);
+    for (const auto& kv : cal.rates)
+        std::printf("  %-28s %10.1f shots/s\n", kv.first.c_str(),
+                    kv.second);
+    std::printf("written: %s\n", path.c_str());
     return 0;
 }
 
@@ -347,10 +444,19 @@ cmd_demo(const Args& a)
     io::write_file_atomic(spec_path, spec.to_json().dump(2) + "\n");
     std::printf("demo campaign: %s\n", spec_path.c_str());
 
+    // Telemetry + heatmaps always on (unless --no-telemetry): the demo is
+    // the fixture the `status` and `heatmap` smoke gates read, and the
+    // bit-identity referee below doubles as the end-to-end proof that the
+    // side channel leaves results untouched.
+    campaign::RunShardOptions ropt;
+    ropt.threads = a.threads;
+    ropt.verbose = a.verbose;
+    ropt.jobs_parallel = a.jobs_parallel;
+    ropt.telemetry = !a.no_telemetry;
+    ropt.heatmap = !a.no_telemetry;
     for (int shard = 0; shard < n_shards; ++shard) {
         const campaign::RunShardStats stats =
-            campaign::run_shard(spec, shard, n_shards, a.out_dir, a.threads,
-                                a.verbose, a.jobs_parallel);
+            campaign::run_shard(spec, shard, n_shards, a.out_dir, ropt);
         std::printf("  shard %d/%d: %d run, %d resumed\n", shard, n_shards,
                     stats.jobs_run, stats.jobs_resumed);
     }
@@ -375,7 +481,7 @@ cmd_demo(const Args& a)
         mismatches += same ? 0 : 1;
     }
     std::printf("\n");
-    campaign::print_report(spec, a.out_dir);
+    campaign::print_report(spec, a.out_dir, n_shards);
     if (mismatches > 0) {
         std::fprintf(stderr, "\nDEMO FAILED: %d job(s) diverged\n",
                      mismatches);
@@ -490,6 +596,12 @@ main(int argc, char** argv)
             return cmd_demo(a);
         if (a.command == "verify")
             return cmd_verify(a);
+        if (a.command == "status")
+            return cmd_status(a);
+        if (a.command == "heatmap")
+            return cmd_heatmap(a);
+        if (a.command == "calibrate")
+            return cmd_calibrate(a);
         std::fprintf(stderr, "unknown command \"%s\"\n\n",
                      a.command.c_str());
         return usage(argv[0]);

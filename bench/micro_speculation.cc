@@ -81,19 +81,27 @@ BENCHMARK(BM_SimulatorRound);
 void
 BM_BackendThroughput(benchmark::State& state)
 {
-    // Shots/second per simulation backend on a d=5 surface-code memory
-    // config — the honest measurement behind batch_frame's ~1/64 campaign
-    // cost factor.  Single-threaded so the ratio is the backend's, not
-    // the scheduler's.  Run with --benchmark_filter=BackendThroughput.
+    // Shots/second per (backend, batch width K, threads) on a d=5
+    // surface-code memory config — the honest measurement behind the
+    // batch backends' campaign cost factors and the K-width default.
+    // Args: (backend enum, batch_words, threads).  The single-thread
+    // K=1 rows keep the exact config of earlier recorded trajectory
+    // points; K>1 and threads>1 rows scale shots/streams so every
+    // scheduler block is a FULL K*64-lane batch (a partial tail block
+    // would understate wide-K throughput) and every thread has work.
+    // Run with --benchmark_filter=BackendThroughput.
     static CodeBundle bundle5(SurfaceCode::make(5));
     const CodeBundle& b = bundle5;
+    const int batch_words = static_cast<int>(state.range(1));
+    const int threads = static_cast<int>(state.range(2));
     ExperimentConfig cfg;
     cfg.np = NoiseParams::standard();
     cfg.rounds = 10;
-    cfg.shots = 1024;
-    cfg.rng_streams = 16;  // 64 shots per stream: full 64-lane batches
+    cfg.shots = 1024 * threads;
+    cfg.batch_words = batch_words;
+    cfg.rng_streams = cfg.shots / ExperimentRunner::shot_block(cfg);
     cfg.leakage_sampling = false;  // natural leakage, as a memory run
-    cfg.threads = 1;
+    cfg.threads = threads;
     cfg.backend = static_cast<SimBackend>(state.range(0));
     ExperimentRunner runner(b.ctx, cfg);
     // Telemetry rides along (pure side channel — the drift gate pins that
@@ -106,7 +114,14 @@ BM_BackendThroughput(benchmark::State& state)
     for (auto _ : state)
         benchmark::DoNotOptimize(runner.run(factory));
     state.SetItemsProcessed(state.iterations() * cfg.shots);
-    state.SetLabel(backend_name(cfg.backend));
+    // Plain backend name at K=1/T=1 so the recorded trajectory's labels
+    // stay comparable across PRs; decorated otherwise.
+    std::string label = backend_name(cfg.backend);
+    if (batch_words > 1)
+        label += "@w" + std::to_string(batch_words);
+    if (threads > 1)
+        label += "@t" + std::to_string(threads);
+    state.SetLabel(label);
     const telemetry::Record rec = collector.merged();
     const double total = static_cast<double>(rec.total_stage_ns());
     if (total > 0.0) {
@@ -117,8 +132,19 @@ BM_BackendThroughput(benchmark::State& state)
     }
 }
 BENCHMARK(BM_BackendThroughput)
-    ->Arg(static_cast<int>(SimBackend::kFrame))
-    ->Arg(static_cast<int>(SimBackend::kBatchFrame))
+    ->Args({static_cast<int>(SimBackend::kFrame), 1, 1})
+    ->Args({static_cast<int>(SimBackend::kFrame), 1, 8})
+    ->Args({static_cast<int>(SimBackend::kBatchFrame), 1, 1})
+    ->Args({static_cast<int>(SimBackend::kBatchFrame), 2, 1})
+    ->Args({static_cast<int>(SimBackend::kBatchFrame), 4, 1})
+    ->Args({static_cast<int>(SimBackend::kBatchFrame), 8, 1})
+    ->Args({static_cast<int>(SimBackend::kBatchFrame), 1, 8})
+    ->Args({static_cast<int>(SimBackend::kBatchFrame), 4, 8})
+    ->Args({static_cast<int>(SimBackend::kBatchFrame), 8, 8})
+    ->Args({static_cast<int>(SimBackend::kTableau), 1, 1})
+    ->Args({static_cast<int>(SimBackend::kBatchTableau), 1, 1})
+    ->Args({static_cast<int>(SimBackend::kBatchTableau), 4, 1})
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 void

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Warn-only perf guard over the committed throughput trajectory.
+
+Compares the two most recent records of BENCH_backend_throughput.json
+(see scripts/bench_record.sh) per backend and emits a GitHub Actions
+``::warning::`` annotation for every backend whose single-thread
+shots/second dropped by more than the threshold (default 20%).
+
+Deliberately NON-FATAL: microbenchmark numbers are machine-dependent
+(records carry num_cpus so foreign-host comparisons are obvious) and a
+red CI lane for a noisy 20% would teach people to ignore it.  The guard
+exists to make a real regression loud in the PR annotations, not to
+block the merge — always exits 0.
+
+Usage: scripts/bench_guard.py [trajectory.json] [--threshold 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trajectory", nargs="?",
+                    default="BENCH_backend_throughput.json")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="fractional single-thread drop that warns "
+                         "(default 0.20)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trajectory) as f:
+            history = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"::warning::bench guard: cannot read {args.trajectory}: {e}")
+        return 0
+
+    if not isinstance(history, list) or len(history) < 2:
+        print(f"bench guard: fewer than two records in {args.trajectory}; "
+              "nothing to compare")
+        return 0
+
+    prev, cur = history[-2], history[-1]
+    prev_sps = prev.get("shots_per_second", {})
+    cur_sps = cur.get("shots_per_second", {})
+    if prev.get("num_cpus") != cur.get("num_cpus"):
+        print(f"bench guard: records {prev.get('git_rev')} and "
+              f"{cur.get('git_rev')} come from different hosts "
+              f"(num_cpus {prev.get('num_cpus')} vs {cur.get('num_cpus')}); "
+              "comparison would be meaningless, skipping")
+        return 0
+
+    warned = 0
+    for backend in sorted(prev_sps):
+        if backend not in cur_sps:
+            print(f"::warning::bench guard: backend '{backend}' present in "
+                  f"{prev.get('git_rev')} is missing from "
+                  f"{cur.get('git_rev')}")
+            warned += 1
+            continue
+        before, after = float(prev_sps[backend]), float(cur_sps[backend])
+        if before <= 0:
+            continue
+        drop = (before - after) / before
+        arrow = "-" if drop >= 0 else "+"
+        print(f"bench guard: {backend:14s} {before:12,.0f} -> "
+              f"{after:12,.0f} shots/s ({arrow}{abs(drop) * 100:.1f}%)")
+        if drop > args.threshold:
+            print(f"::warning::bench guard: {backend} single-thread "
+                  f"throughput regressed {drop * 100:.1f}% "
+                  f"({before:,.0f} -> {after:,.0f} shots/s, "
+                  f"{prev.get('git_rev')} -> {cur.get('git_rev')}, "
+                  f"threshold {args.threshold * 100:.0f}%)")
+            warned += 1
+    for backend in sorted(set(cur_sps) - set(prev_sps)):
+        print(f"bench guard: {backend} is new in {cur.get('git_rev')} "
+              f"({float(cur_sps[backend]):,.0f} shots/s); no baseline")
+
+    if warned == 0:
+        print("bench guard: no single-thread regression beyond "
+              f"{args.threshold * 100:.0f}%")
+    # Warn-only by design: see module docstring.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

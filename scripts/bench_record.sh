@@ -11,13 +11,31 @@
 #   scripts/bench_record.sh --no-commit  # run and append only
 #
 # Each record: {git_rev, date, num_cpus, threads, min_time_s,
-# shots_per_second: {frame: ..., batch_frame: ...}, stage_frac: {frame:
-# {sim: ..., policy: ..., decode: ..., accounting: ...}, ...}}.  The
-# stage fractions come from the telemetry side channel riding along the
-# benchmark (src/telemetry/) — where the wall time went, not just how
-# much of it there was.  The file is a JSON array, oldest first.
-# Throughput is machine-dependent — compare records from the same host
-# (num_cpus is recorded to make foreign records obvious).
+# shots_per_second: {frame: ..., batch_frame: ..., ...},
+# chosen_batch_words, batch_width_sweep, multi_thread, stage_frac}.
+#
+#  - shots_per_second is each backend's BEST single-thread rate across
+#    the swept batch widths K (K*64 lanes per scheduler block) — the
+#    number the perf trajectory compares PR over PR.
+#  - chosen_batch_words records WHICH K produced it per backend, and
+#    batch_width_sweep keeps the full single-thread K sweep.
+#  - multi_thread records the best multi-threaded point per backend
+#    (threads + batch width + shots/s) so scheduler scaling is part of
+#    the committed trajectory too.
+#  - stage_frac comes from the telemetry side channel riding along the
+#    benchmark (src/telemetry/) at the chosen K — where the wall time
+#    went, not just how much of it there was.
+#
+# The file is a JSON array, oldest first.  Older records carry fewer
+# fields (plain shots_per_second only) — readers must treat the new
+# fields as optional.  Throughput is machine-dependent — compare records
+# from the same host (num_cpus is recorded to make foreign records
+# obvious).
+#
+# The recorder FAILS (and writes nothing) if any expected benchmark row
+# or counter is absent: a partial trajectory point is worse than none,
+# because the regression guard would read the gap as a crash-level
+# regression or silently skip the comparison.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -53,34 +71,101 @@ raw_path, out_path = sys.argv[1], sys.argv[2]
 with open(raw_path) as f:
     raw = json.load(f)
 
-results = [
-    b for b in raw["benchmarks"]
-    if b.get("run_type") == "iteration" and "label" in b
+results = {}
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") != "iteration" or "label" not in b:
+        continue
+    if "items_per_second" not in b:
+        sys.exit(f"error: row {b.get('name', '?')} has no items_per_second "
+                 "counter — refusing to record a partial trajectory point")
+    results[b["label"]] = b
+
+# The full registration list of bench/micro_speculation.cc's
+# BM_BackendThroughput.  Labels: backend[@w<K>][@t<threads>], with the
+# plain backend name at K=1/threads=1 so old records stay comparable.
+EXPECTED = [
+    "frame", "frame@t8",
+    "batch_frame", "batch_frame@w2", "batch_frame@w4", "batch_frame@w8",
+    "batch_frame@t8", "batch_frame@w4@t8", "batch_frame@w8@t8",
+    "tableau", "batch_tableau", "batch_tableau@w4",
 ]
+missing = [l for l in EXPECTED if l not in results]
+if missing:
+    sys.exit("error: benchmark output is missing expected rows: "
+             + ", ".join(missing)
+             + " — refusing to record a partial trajectory point")
+
+
+def parse_label(label):
+    backend, words, threads = label.split("@")[0], 1, 1
+    for part in label.split("@")[1:]:
+        if part.startswith("w"):
+            words = int(part[1:])
+        elif part.startswith("t"):
+            threads = int(part[1:])
+        else:
+            sys.exit(f"error: unparseable label suffix '@{part}' in "
+                     f"'{label}'")
+    return backend, words, threads
+
+
+# Best single-thread rate per backend across the K sweep, plus the best
+# multi-threaded point per backend.
+best_single = {}   # backend -> (words, shots/s)
+sweep = {}         # backend -> {str(K): shots/s}
+best_multi = {}    # backend -> {threads, batch_words, shots_per_second}
+for label, b in sorted(results.items()):
+    backend, words, threads = parse_label(label)
+    sps = b["items_per_second"]
+    if threads == 1:
+        sweep.setdefault(backend, {})[str(words)] = round(sps, 1)
+        if backend not in best_single or sps > best_single[backend][1]:
+            best_single[backend] = (words, sps)
+    else:
+        prev = best_multi.get(backend)
+        if prev is None or sps > prev["shots_per_second"]:
+            best_multi[backend] = {
+                "threads": threads,
+                "batch_words": words,
+                "shots_per_second": round(sps, 1),
+            }
+
+# Telemetry stage split at each backend's chosen K: fraction of worker
+# wall time in sim / policy / decode / accounting (frac_* counters).
+stage_frac = {}
+for backend, (words, _) in best_single.items():
+    label = backend + (f"@w{words}" if words > 1 else "")
+    frac = {
+        k[len("frac_"):]: round(v, 4)
+        for k, v in sorted(results[label].items())
+        if k.startswith("frac_")
+    }
+    if not frac:
+        sys.exit(f"error: row '{label}' is missing its telemetry frac_* "
+                 "counters — refusing to record a partial trajectory point")
+    stage_frac[backend] = frac
+
 record = {
     "git_rev": os.environ["GIT_REV"],
     "date": raw["context"]["date"],
     "num_cpus": raw["context"]["num_cpus"],
-    # The benchmark config's worker thread count (bench/micro_speculation
-    # .cc pins 1 so the ratio is the backend's, not the scheduler's).
+    # shots_per_second below is single-threaded (the backend's own rate,
+    # not the scheduler's); the multi_thread section carries the scaled
+    # points.
     "threads": 1,
     "min_time_s": float(os.environ["MIN_TIME"]),
     "shots_per_second": {
-        b["label"]: round(b["items_per_second"], 1) for b in results
+        backend: round(sps, 1)
+        for backend, (_, sps) in sorted(best_single.items())
     },
-    # Telemetry stage split per backend: fraction of worker wall time in
-    # sim / policy / decode / accounting (frac_* counters).
-    "stage_frac": {
-        b["label"]: {
-            k[len("frac_"):]: round(v, 4)
-            for k, v in sorted(b.items())
-            if k.startswith("frac_")
-        }
-        for b in results
+    "chosen_batch_words": {
+        backend: words
+        for backend, (words, _) in sorted(best_single.items())
     },
+    "batch_width_sweep": sweep,
+    "multi_thread": best_multi,
+    "stage_frac": stage_frac,
 }
-if not record["shots_per_second"]:
-    sys.exit("error: no BM_BackendThroughput results in benchmark output")
 
 history = []
 if os.path.exists(out_path):
@@ -92,8 +177,10 @@ with open(out_path, "w") as f:
     f.write("\n")
 
 per_backend = ", ".join(
-    f"{k}: {v:,.0f}" for k, v in record["shots_per_second"].items())
-print(f"recorded {record['git_rev']} — shots/s {{{per_backend}}}")
+    f"{k}: {v:,.0f} (K={record['chosen_batch_words'][k]})"
+    for k, v in record["shots_per_second"].items())
+print(f"recorded {record['git_rev']} — single-thread shots/s "
+      f"{{{per_backend}}}")
 EOF
 
 if [[ "${COMMIT}" == "1" ]]; then

@@ -64,6 +64,7 @@ CampaignSpec::expand() const
                 job.cfg.record_dlp_series = record_dlp_series;
                 job.cfg.rng_streams = rng_streams;
                 job.cfg.backend = backend;
+                job.cfg.batch_words = batch_words;
                 jobs.push_back(std::move(job));
                 ++index;
             }
@@ -87,6 +88,10 @@ CampaignSpec::to_json() const
     j.set("record_dlp_series", Json::boolean(record_dlp_series));
     j.set("pair_policy_seeds", Json::boolean(pair_policy_seeds));
     j.set("backend", Json::str(backend_name(backend)));
+    // Only serialized when != 1, like ExperimentConfig: absence == 1, so
+    // existing spec files and their job config hashes are untouched.
+    if (batch_words != 1)
+        j.set("batch_words", Json::integer(batch_words));
     Json jc = Json::array();
     for (const std::string& c : codes)
         jc.push(Json::str(c));
@@ -122,6 +127,9 @@ CampaignSpec::from_json(const Json& j)
     spec.backend = j.has("backend")
                        ? backend_from_name(j["backend"].as_str())
                        : SimBackend::kFrame;  // version-1 specs
+    spec.batch_words = j.has("batch_words")
+                           ? static_cast<int>(j["batch_words"].as_int())
+                           : 1;
     spec.codes.clear();
     const Json& jc = j["codes"];
     for (size_t i = 0; i < jc.size(); ++i)
@@ -159,12 +167,14 @@ job_cost_units(const JobSpec& job, int n_qubits, long shots)
 // --- Calibration. ---
 
 double
-Calibration::rate(const std::string& backend, const std::string& code) const
+Calibration::rate(const std::string& backend, const std::string& code,
+                  int batch_words) const
 {
-    const auto it = rates.find(key(backend, code));
+    const auto it = rates.find(key(backend, code, batch_words));
     if (it == rates.end())
         throw std::runtime_error(
-            "calibration: no measured rate for \"" + key(backend, code) +
+            "calibration: no measured rate for \"" +
+            key(backend, code, batch_words) +
             "\" (run the campaign with telemetry, then "
             "`gld_campaign calibrate`)");
     return it->second;
@@ -222,7 +232,8 @@ Calibration::from_telemetry(const CampaignSpec& spec, int n_shards,
                 const Json j = Json::parse(io::read_file(path));
                 if (j["config_hash"].as_str() != want_hash)
                     continue;  // stale telemetry: never calibrate on it
-                Sum& s = sums[key(backend_name(job.cfg.backend), job.code)];
+                Sum& s = sums[key(backend_name(job.cfg.backend), job.code,
+                                  job.cfg.batch_words)];
                 s.shots += static_cast<double>(j["shots"].as_int());
                 s.seconds +=
                     static_cast<double>(j["wall_ns"].as_int()) * 1e-9;
@@ -319,11 +330,12 @@ CampaignPlan::build(
         // Cost per shot: analytic rounds x backend factor by default;
         // with a calibration, measured wall seconds (1 / shots-per-
         // second) — same LPT, honest units.  rate() throws on a missing
-        // (backend, code) key, so a partial calibration never silently
-        // half-applies.
+        // (backend, batch width, code) key, so a partial calibration
+        // never silently half-applies.
         const double per_shot =
             calib != nullptr
-                ? 1.0 / calib->rate(backend_name(cfg.backend), jobs[j].code)
+                ? 1.0 / calib->rate(backend_name(cfg.backend), jobs[j].code,
+                                    cfg.batch_words)
                 : static_cast<double>(cfg.rounds) *
                       backend_cost_factor(cfg.backend, plan.job_qubits[j]);
         const int total = ExperimentRunner::n_streams(cfg);

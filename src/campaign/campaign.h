@@ -62,6 +62,13 @@ struct CampaignSpec {
      * Serialized by name; specs without the field load as "frame".
      */
     SimBackend backend = SimBackend::kFrame;
+    /**
+     * Batch width multiplier K every job runs with (see
+     * ExperimentConfig::batch_words; result-affecting, so config-hashed
+     * per job when != 1).  Serialized only when != 1 — existing specs
+     * and hashes are untouched.
+     */
+    int batch_words = 1;
     std::vector<std::string> codes;     ///< e.g. {"surface:3", "surface:5"}
     std::vector<std::string> policies;  ///< registry names
     std::vector<NoiseParams> noise;     ///< grid points
@@ -126,31 +133,42 @@ struct ShardPlan {
 /**
  * Measured-throughput calibration for the campaign cost model (the
  * telemetry -> planner feedback loop): shots per WALL second per
- * (backend, code), keyed "backend/code" (e.g. "frame/surface:5"),
- * typically built from the per-job telemetry exports of a completed run
- * via from_telemetry() (`gld_campaign calibrate`) and fed back into
- * CampaignPlan::build, which then balances shards on measured seconds
- * instead of the analytic backend_cost_factor.  Throughput model only —
- * never result-affecting (the stream->shard assignment changes, the
- * merged Metrics cannot).
+ * (backend, batch width, code), keyed "backend/code" at the default
+ * width 1 (e.g. "frame/surface:5") and "backend@w<K>/code" at K > 1
+ * (e.g. "batch_frame@w4/surface:5") — the batch width changes a batch
+ * backend's throughput substantially, so K-sweep measurements must not
+ * overwrite each other.  Typically built from the per-job telemetry
+ * exports of a completed run via from_telemetry() (`gld_campaign
+ * calibrate`) and fed back into CampaignPlan::build, which then balances
+ * shards on measured seconds instead of the analytic
+ * backend_cost_factor.  Throughput model only — never result-affecting
+ * (the stream->shard assignment changes, the merged Metrics cannot).
  */
 struct Calibration {
-    /** shots per wall second, keyed by key(backend, code). */
+    /** shots per wall second, keyed by key(backend, code, batch_words). */
     std::map<std::string, double> rates;
 
     static std::string key(const std::string& backend,
-                           const std::string& code)
+                           const std::string& code, int batch_words = 1)
     {
+        // K == 1 keys stay exactly "backend/code", so calibration files
+        // from before the batch-width knob keep working unchanged.
+        if (batch_words > 1) {
+            return backend + "@w" + std::to_string(batch_words) + "/" +
+                   code;
+        }
         return backend + "/" + code;
     }
 
     bool empty() const { return rates.empty(); }
-    bool has(const std::string& backend, const std::string& code) const
+    bool has(const std::string& backend, const std::string& code,
+             int batch_words = 1) const
     {
-        return rates.count(key(backend, code)) != 0;
+        return rates.count(key(backend, code, batch_words)) != 0;
     }
     /** Throws std::runtime_error naming the missing key. */
-    double rate(const std::string& backend, const std::string& code) const;
+    double rate(const std::string& backend, const std::string& code,
+                int batch_words = 1) const;
 
     io::Json to_json() const;
     static Calibration from_json(const io::Json& j);

@@ -133,6 +133,12 @@ config_to_json(const ExperimentConfig& cfg)
     j.set("record_dlp_series", Json::boolean(cfg.record_dlp_series));
     j.set("rng_streams", Json::integer(cfg.rng_streams));
     j.set("backend", Json::str(backend_name(cfg.backend)));
+    // batch_words is RESULT-AFFECTING (it sets the scheduler block size
+    // and thus the per-block RNG derivation) so it must be hashed — but
+    // only when != 1, so every existing K=1 document and config hash
+    // stays byte-identical (no version bump needed: absence == 1).
+    if (cfg.batch_words != 1)
+        j.set("batch_words", Json::integer(cfg.batch_words));
     // cfg.threads is deliberately NOT serialized: it does not affect
     // results (determinism contract) and must not affect the config hash.
     return j;
@@ -156,6 +162,9 @@ config_from_json(const Json& j)
     // old CHECKPOINTS are refused rather than resumed.
     cfg.backend = j.has("backend") ? backend_from_name(j["backend"].as_str())
                                    : SimBackend::kFrame;
+    cfg.batch_words = j.has("batch_words")
+                          ? static_cast<int>(j["batch_words"].as_int())
+                          : 1;
     return cfg;
 }
 

@@ -48,6 +48,11 @@ namespace io {
  *    align with the 64-lane batch width.  Same-config results differ
  *    from version-3 binaries on every backend, so pre-batch campaign
  *    checkpoints are refused as stale via the hashed version.
+ *  - 4 (no bump): ExperimentConfig/CampaignSpec gained "batch_words"
+ *    (the K-word batch width, result-affecting because it sets the
+ *    scheduler block size).  Serialized ONLY when != 1: absence means 1,
+ *    so every existing document and config hash is unchanged, and only
+ *    genuinely-new K>1 configs hash differently.
  */
 constexpr int kSerializeVersion = 4;
 

@@ -20,6 +20,12 @@ ExperimentRunner::ExperimentRunner(const CodeContext& ctx,
                                    const ExperimentConfig& cfg)
     : ctx_(&ctx), cfg_(cfg)
 {
+    if (cfg_.batch_words < 1 || cfg_.batch_words > kMaxBatchWords) {
+        throw std::invalid_argument(
+            "ExperimentConfig::batch_words " +
+            std::to_string(cfg_.batch_words) + " outside [1, " +
+            std::to_string(kMaxBatchWords) + "]");
+    }
     if (cfg_.compute_ler) {
         DemBuilder dem(ctx.code(), ctx.rc(), cfg_.np, cfg_.rounds);
         graph_ = std::make_shared<DecodingGraph>(dem.build());
@@ -35,8 +41,8 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
     const int n_data = code.n_data();
     const int n_checks = code.n_checks();
     const int total = stream_shots(cfg_, stream);
-    const int first = block * kShotBlock;
-    const int shots = std::min(kShotBlock, total - first);
+    const int first = block * shot_block(cfg_);
+    const int shots = std::min(shot_block(cfg_), total - first);
 
     // Telemetry is a pure side channel: the StageClock and the counters
     // below never draw randomness and never feed a result-bearing sum,
@@ -61,7 +67,7 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
     Rng shot_rng = block_master.split(1);
     std::unique_ptr<Simulator> sim =
         make_simulator(cfg_.backend, code, ctx_->rc(), cfg_.np,
-                       block_master.split(0).next_u64());
+                       block_master.split(0).next_u64(), cfg_.batch_words);
     const uint64_t policy_seed = block_master.split(2).next_u64();
 
     // A batch-capable backend takes the whole block as one lockstep shot
@@ -209,6 +215,7 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
     const int n_data = code.n_data();
     const int n_checks = code.n_checks();
     const int width = sim.batch_width();
+    const int W = sim.batch_n_words();  ///< words per lane span (K)
     const int max_lanes = std::min(width, shots);
     const int rounds = cfg_.rounds;
 
@@ -250,9 +257,11 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
     std::vector<std::vector<uint8_t>> flips;
     // Word-wide accounting scratch: which lanes scheduled an LRC on each
     // data qubit this round (the FN check is then one popcount per
-    // qubit), and per-lane leak counts gathered by one sparse pass over
-    // the leak words instead of 64 oracle walks.
-    std::vector<LaneMask> sched_word(static_cast<size_t>(n_data), 0);
+    // qubit word), and per-lane leak counts gathered by one sparse pass
+    // over the leak words instead of 64*K oracle walks.  Spans of W
+    // words per qubit, same layout as the simulator's leaked_words().
+    std::vector<LaneMask> sched_word(
+        static_cast<size_t>(n_data) * static_cast<size_t>(W), 0);
     std::vector<int> data_leaked(static_cast<size_t>(max_lanes), 0);
     std::vector<int> check_leaked(static_cast<size_t>(max_lanes), 0);
     // Float accumulators are buffered per (lane, round) and replayed
@@ -267,8 +276,19 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
 
     for (int first = 0; first < shots; first += width) {
         const int lanes = std::min(width, shots - first);
-        const LaneMask lanes_mask =
-            lanes >= 64 ? ~0ull : (1ull << lanes) - 1;
+        // Active-lane span of this batch: full words below the lane
+        // boundary, a partial word at it, empty words above (a partial
+        // trailing batch's boundary may fall mid-span).
+        LaneMask lanes_mask[kMaxBatchWords];
+        for (int w = 0; w < W; ++w) {
+            const int base = w * kBatchLanes;
+            if (lanes - base >= kBatchLanes)
+                lanes_mask[w] = ~0ull;
+            else if (lanes - base > 0)
+                lanes_mask[w] = (1ull << (lanes - base)) - 1;
+            else
+                lanes_mask[w] = 0;
+        }
         sim.reset_shot_batch(lanes);
         for (int l = 0; l < lanes; ++l) {
             const size_t li = static_cast<size_t>(l);
@@ -294,7 +314,9 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
             for (int l = 0; l < lanes; ++l) {
                 const size_t li = static_cast<size_t>(l);
                 for (int q : scheds[li].data_qubits) {
-                    if ((leak_words[q] >> l) & 1u)
+                    if (lane_bit(&leak_words[static_cast<size_t>(q) *
+                                             static_cast<size_t>(W)],
+                                 l))
                         m.tp_total += 1;
                     else
                         m.fp_total += 1;
@@ -320,25 +342,39 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
             std::fill(sched_word.begin(), sched_word.end(), 0);
             for (int l = 0; l < lanes; ++l) {
                 for (int q : scheds[static_cast<size_t>(l)].data_qubits)
-                    sched_word[static_cast<size_t>(q)] |=
-                        1ull << static_cast<unsigned>(l);
+                    set_lane_bit(&sched_word[static_cast<size_t>(q) *
+                                             static_cast<size_t>(W)],
+                                 l);
             }
             std::fill(data_leaked.begin(), data_leaked.end(), 0);
             std::fill(check_leaked.begin(), check_leaked.end(), 0);
             for (int q = 0; q < n_data; ++q) {
-                const LaneMask lk = leak_words[q] & lanes_mask;
-                m.fn_total += static_cast<double>(__builtin_popcountll(
-                    lk & ~sched_word[static_cast<size_t>(q)]));
-                for_each_lane(lk, [&](int l) {
-                    ++data_leaked[static_cast<size_t>(l)];
-                });
+                const size_t qb = static_cast<size_t>(q) *
+                                  static_cast<size_t>(W);
+                for (int w = 0; w < W; ++w) {
+                    const LaneMask lk =
+                        leak_words[qb + static_cast<size_t>(w)] &
+                        lanes_mask[w];
+                    m.fn_total += static_cast<double>(__builtin_popcountll(
+                        lk & ~sched_word[qb + static_cast<size_t>(w)]));
+                    const int base = w * kBatchLanes;
+                    for_each_lane(lk, [&](int b) {
+                        ++data_leaked[static_cast<size_t>(base + b)];
+                    });
+                }
             }
             for (int c = 0; c < n_checks; ++c) {
-                const LaneMask lk =
-                    leak_words[code.ancilla_of(c)] & lanes_mask;
-                for_each_lane(lk, [&](int l) {
-                    ++check_leaked[static_cast<size_t>(l)];
-                });
+                const size_t ab = static_cast<size_t>(code.ancilla_of(c)) *
+                                  static_cast<size_t>(W);
+                for (int w = 0; w < W; ++w) {
+                    const LaneMask lk =
+                        leak_words[ab + static_cast<size_t>(w)] &
+                        lanes_mask[w];
+                    const int base = w * kBatchLanes;
+                    for_each_lane(lk, [&](int b) {
+                        ++check_leaked[static_cast<size_t>(base + b)];
+                    });
+                }
             }
             if (telem != nullptr) {
                 // End-of-round leak populations, word-wide: the histogram
@@ -349,13 +385,26 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
                         data_leaked[static_cast<size_t>(l)])];
                 if (telem->heatmap.enabled()) {
                     uint64_t* row = telem->heatmap.row(r);
-                    for (int q = 0; q < n_data; ++q)
-                        row[q] += static_cast<uint64_t>(
-                            __builtin_popcountll(leak_words[q] & lanes_mask));
+                    for (int q = 0; q < n_data; ++q) {
+                        const size_t qb = static_cast<size_t>(q) *
+                                          static_cast<size_t>(W);
+                        for (int w = 0; w < W; ++w)
+                            row[q] += static_cast<uint64_t>(
+                                __builtin_popcountll(
+                                    leak_words[qb + static_cast<size_t>(w)] &
+                                    lanes_mask[w]));
+                    }
                     uint64_t* crow = row + n_data;
-                    for (int c = 0; c < n_checks; ++c)
-                        crow[c] += static_cast<uint64_t>(__builtin_popcountll(
-                            leak_words[code.ancilla_of(c)] & lanes_mask));
+                    for (int c = 0; c < n_checks; ++c) {
+                        const size_t ab =
+                            static_cast<size_t>(code.ancilla_of(c)) *
+                            static_cast<size_t>(W);
+                        for (int w = 0; w < W; ++w)
+                            crow[c] += static_cast<uint64_t>(
+                                __builtin_popcountll(
+                                    leak_words[ab + static_cast<size_t>(w)] &
+                                    lanes_mask[w]));
+                    }
                 }
             }
             for (int l = 0; l < lanes; ++l) {
@@ -446,7 +495,8 @@ ExperimentRunner::stream_shots(const ExperimentConfig& cfg, int stream)
 int
 ExperimentRunner::stream_blocks(const ExperimentConfig& cfg, int stream)
 {
-    return (stream_shots(cfg, stream) + kShotBlock - 1) / kShotBlock;
+    const int block = shot_block(cfg);
+    return (stream_shots(cfg, stream) + block - 1) / block;
 }
 
 long

@@ -46,6 +46,18 @@ struct ExperimentConfig {
      * Result-affecting: serialized and part of the config hash.
      */
     SimBackend backend = SimBackend::kFrame;
+    /**
+     * Batch width multiplier K: a scheduler block holds 64*K shots, and
+     * a batch backend runs it as one lockstep K-word batch
+     * (1 <= K <= kMaxBatchWords).  RESULT-AFFECTING: the block size
+     * feeds the per-block (seed, stream, block) RNG derivation, so K
+     * changes the draws for EVERY backend — the scalar backends run the
+     * same 64*K-shot blocks, which is exactly what keeps frame and
+     * batch_frame Metrics bit-identical at every K.  Serialized and
+     * config-hashed when != 1; the default reproduces every existing
+     * config hash byte for byte.
+     */
+    int batch_words = 1;
 };
 
 /** Builds a fresh policy; called once per (RNG stream, shot block) work
@@ -90,19 +102,28 @@ class ExperimentRunner {
     static int stream_shots(const ExperimentConfig& cfg, int stream);
 
     /**
-     * Shots per scheduler work unit: each stream's shots are chunked into
-     * blocks of this size, and (stream, block) units are what the worker
-     * threads pull.  Part of the determinism contract — every block draws
-     * from its own RNG streams derived from (seed, stream, block), so the
-     * result is independent of which thread runs which unit, but changing
-     * the block size (like changing rng_streams) changes the draws.
-     * Aligned with the bit-packed batch width (sim/batch_driver.h): a
-     * batch-capable backend runs a whole block as one lockstep batch, a
-     * partial final block as a batch with the trailing lanes masked off.
+     * Base shots per scheduler work unit (one 64-lane word); the actual
+     * block size of a config is shot_block(cfg) = kShotBlock *
+     * cfg.batch_words.  Each stream's shots are chunked into blocks of
+     * that size, and (stream, block) units are what the worker threads
+     * pull.  Part of the determinism contract — every block draws from
+     * its own RNG streams derived from (seed, stream, block), so the
+     * result is independent of which thread runs which unit, but
+     * changing the block size (like changing rng_streams or batch_words)
+     * changes the draws.  Aligned with the bit-packed batch width
+     * (sim/batch_driver.h): a batch-capable backend runs a whole block
+     * as one lockstep batch, a partial final block as a batch with the
+     * trailing lanes masked off.
      */
     static constexpr int kShotBlock = 64;
 
-    /** Number of shot blocks of `stream` (ceil(stream_shots/kShotBlock)). */
+    /** Shots per scheduler work unit of a config (kShotBlock * K). */
+    static int shot_block(const ExperimentConfig& cfg)
+    {
+        return kShotBlock * cfg.batch_words;
+    }
+
+    /** Number of shot blocks of `stream` (ceil(shots/shot_block)). */
     static int stream_blocks(const ExperimentConfig& cfg, int stream);
 
     /**

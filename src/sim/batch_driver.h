@@ -16,10 +16,18 @@ namespace gld {
 /** Lanes per batch word: 64 Monte-Carlo shots packed one per bit. */
 constexpr int kBatchLanes = 64;
 
-/** One bit per lane; bit l set means "lane l participates". */
+/** Max lanes of one batch (kMaxBatchWords words of kBatchLanes shots). */
+constexpr int kMaxBatchLanes = kMaxBatchWords * kBatchLanes;
+
+/**
+ * One bit per lane; bit l of word w set means "lane w*64+l participates".
+ * A batch driver built with `batch_words` W addresses lanes through
+ * W-word spans (`const LaneMask*` of W words); W == 1 is the classic
+ * one-word batch.
+ */
 using LaneMask = uint64_t;
 
-/** Invokes f(lane) for every set bit of m, ascending. */
+/** Invokes f(lane) for every set bit of the single word m, ascending. */
 template <typename F>
 inline void
 for_each_lane(LaneMask m, F&& f)
@@ -31,15 +39,66 @@ for_each_lane(LaneMask m, F&& f)
 }
 
 /**
- * 64 xoshiro256** streams stored structure-of-arrays, one per lane.
+ * Invokes f(global_lane) for every set bit of the n_words-word span m,
+ * ascending (global lane = word*64 + bit).
+ */
+template <typename F>
+inline void
+for_each_lane(const LaneMask* m, int n_words, F&& f)
+{
+    for (int w = 0; w < n_words; ++w) {
+        LaneMask mw = m[w];
+        const int base = w * kBatchLanes;
+        while (mw != 0) {
+            f(base + __builtin_ctzll(mw));
+            mw &= mw - 1;
+        }
+    }
+}
+
+/** OR of an n_words-word lane span (nonzero iff any lane is set). */
+inline LaneMask
+lanes_any(const LaneMask* m, int n_words)
+{
+    LaneMask any = 0;
+    for (int w = 0; w < n_words; ++w)
+        any |= m[w];
+    return any;
+}
+
+/** Zeroes an n_words-word lane span. */
+inline void
+lanes_zero(LaneMask* m, int n_words)
+{
+    for (int w = 0; w < n_words; ++w)
+        m[w] = 0;
+}
+
+/** Tests global lane l of a span. */
+inline bool
+lane_bit(const LaneMask* m, int l)
+{
+    return (m[l >> 6] >> (l & 63)) & 1u;
+}
+
+/** Sets global lane l of a span. */
+inline void
+set_lane_bit(LaneMask* m, int l)
+{
+    m[l >> 6] |= 1ull << (l & 63);
+}
+
+/**
+ * Up to kMaxBatchLanes xoshiro256** streams stored structure-of-arrays,
+ * one per lane.
  *
  * Lane l's stream is seeded from an Rng (master.split(shot)) and steps
  * with the identical update rule, so the lane's draw sequence is
  * bit-for-bit the scalar driver's — while `step_all`/`step_masked`
  * advance every lane in one pass the compiler can vectorize.  This is
  * where the batch backend's throughput comes from: the noise draws are
- * ~all of a frame simulator's per-shot cost, and here 64 of them cost a
- * few wide ops instead of 64 function calls.
+ * ~all of a frame simulator's per-shot cost, and here K*64 of them cost
+ * a few wide ops instead of K*64 function calls.
  *
  * The Bernoulli fast path compares the 53-bit mantissa draw against
  * ceil(p * 2^53): exactly equivalent to Rng::bernoulli's
@@ -84,31 +143,39 @@ class LaneRngBank {
     }
 
     /**
-     * Advances ONLY the lanes of `mask` within [0, n) (out of other
-     * lanes is 0).  Used at sites where some active lanes must not draw
-     * (e.g. a reset pulse skips leaked lanes), so their streams stay
-     * scalar-aligned.
+     * Advances ONLY the lanes of the `mask` span within [0, n) (out of
+     * other lanes is 0).  Used at sites where some active lanes must not
+     * draw (e.g. a reset pulse skips leaked lanes), so their streams
+     * stay scalar-aligned.  `mask` spans ceil(n/64) words.
      */
-    void step_masked(int n, LaneMask mask, uint64_t* __restrict__ out)
+    void step_masked(int n, const LaneMask* __restrict__ mask,
+                     uint64_t* __restrict__ out)
     {
-        for (int l = 0; l < n; ++l) {
-            const uint64_t keep =
-                static_cast<uint64_t>(0) - ((mask >> l) & 1u);
-            const uint64_t m5 = s1_[l] + (s1_[l] << 2);
-            const uint64_t r7 = rotl(m5, 7);
-            const uint64_t r = r7 + (r7 << 3);
-            const uint64_t t = s1_[l] << 17;
-            uint64_t n2 = s2_[l] ^ s0_[l];
-            uint64_t n3 = s3_[l] ^ s1_[l];
-            const uint64_t n1 = s1_[l] ^ n2;
-            const uint64_t n0 = s0_[l] ^ n3;
-            n2 ^= t;
-            n3 = rotl(n3, 45);
-            s0_[l] ^= (s0_[l] ^ n0) & keep;
-            s1_[l] ^= (s1_[l] ^ n1) & keep;
-            s2_[l] ^= (s2_[l] ^ n2) & keep;
-            s3_[l] ^= (s3_[l] ^ n3) & keep;
-            out[l] = r & keep;
+        for (int w = 0; w * kBatchLanes < n; ++w) {
+            const LaneMask mw = mask[w];
+            const int base = w * kBatchLanes;
+            const int lim =
+                n - base < kBatchLanes ? n - base : kBatchLanes;
+            for (int b = 0; b < lim; ++b) {
+                const int l = base + b;
+                const uint64_t keep =
+                    static_cast<uint64_t>(0) - ((mw >> b) & 1u);
+                const uint64_t m5 = s1_[l] + (s1_[l] << 2);
+                const uint64_t r7 = rotl(m5, 7);
+                const uint64_t r = r7 + (r7 << 3);
+                const uint64_t t = s1_[l] << 17;
+                uint64_t n2 = s2_[l] ^ s0_[l];
+                uint64_t n3 = s3_[l] ^ s1_[l];
+                const uint64_t n1 = s1_[l] ^ n2;
+                const uint64_t n0 = s0_[l] ^ n3;
+                n2 ^= t;
+                n3 = rotl(n3, 45);
+                s0_[l] ^= (s0_[l] ^ n0) & keep;
+                s1_[l] ^= (s1_[l] ^ n1) & keep;
+                s2_[l] ^= (s2_[l] ^ n2) & keep;
+                s3_[l] ^= (s3_[l] ^ n3) & keep;
+                out[l] = r & keep;
+            }
         }
     }
 
@@ -306,10 +373,10 @@ class LaneRngBank {
         return result;
     }
 
-    alignas(64) uint64_t s0_[kBatchLanes];
-    alignas(64) uint64_t s1_[kBatchLanes];
-    alignas(64) uint64_t s2_[kBatchLanes];
-    alignas(64) uint64_t s3_[kBatchLanes];
+    alignas(64) uint64_t s0_[kMaxBatchLanes];
+    alignas(64) uint64_t s1_[kMaxBatchLanes];
+    alignas(64) uint64_t s2_[kMaxBatchLanes];
+    alignas(64) uint64_t s3_[kMaxBatchLanes];
 };
 
 /**
@@ -336,19 +403,23 @@ struct LaneRate {
 /**
  * The word-wide quantum-state interface a batch backend provides to the
  * BatchLeakageDriver: every primitive of StatePrimitives, widened to act
- * on up to kBatchLanes independent shots at once, selected by a LaneMask.
+ * on up to batch_words*64 independent shots at once, selected by a
+ * K-word lane span.
  *
  * Lane/mask contract:
- *  - Bit l of every mask and of every returned word belongs to lane
- *    (shot) l.  Lanes are independent shots: a masked op must not couple
- *    lanes, and bits outside the mask must be left untouched.
+ *  - Every mask argument and every output is a span of the driver's
+ *    n_words() LaneMask words (the width fixed at construction).  Bit l
+ *    of word w belongs to lane (shot) w*64+l.  Lanes are independent
+ *    shots: a masked op must not couple lanes, and bits outside the mask
+ *    must be left untouched.
  *  - Masked ops may receive a mask with no bits set only via apply_pauli
  *    component words (xs or zs may be zero); callers skip fully-empty
  *    calls but are not required to.
- *  - measure_z returns the whole word; the driver masks out the lanes it
- *    does not want (leaked lanes' bits are discarded).  A future exact
+ *  - measure_z fills all n_words() words; the driver masks out the lanes
+ *    it does not want (leaked lanes' bits are discarded).  An exact
  *    batch backend may collapse all lanes here — discarded lanes'
- *    outcomes are never observed, so this is safe.
+ *    outcomes are never observed, so this is safe (batch_tableau does
+ *    exactly this).
  *  - No primitive may touch the driver's RNG (same determinism contract
  *    as the scalar StatePrimitives).
  */
@@ -363,33 +434,36 @@ class BatchStatePrimitives {
      * Applies X to qubit q in the lanes of `xs` and Z in the lanes of
      * `zs` (both bits set in a lane = Y, as in the scalar encoding).
      */
-    virtual void apply_pauli(int q, LaneMask xs, LaneMask zs) = 0;
+    virtual void apply_pauli(int q, const LaneMask* xs,
+                             const LaneMask* zs) = 0;
 
     /** The coherent CNOT action in the lanes of `lanes`. */
-    virtual void coherent_cnot(int control, int target, LaneMask lanes) = 0;
+    virtual void coherent_cnot(int control, int target,
+                               const LaneMask* lanes) = 0;
 
     /** The coherent Hadamard action in the lanes of `lanes`. */
-    virtual void hadamard(int q, LaneMask lanes) = 0;
+    virtual void hadamard(int q, const LaneMask* lanes) = 0;
 
     /** Noiseless |0> reset of qubit q in the lanes of `lanes`. */
-    virtual void reset_z(int q, LaneMask lanes) = 0;
+    virtual void reset_z(int q, const LaneMask* lanes) = 0;
 
     /**
-     * Z-basis readout of qubit q as one word: bit l is lane l's outcome
-     * flip vs the noiseless reference.  Lanes the caller knows to be
-     * leaked are masked off by the driver after the fact.
+     * Z-basis readout of qubit q into `out` (n_words() words): bit l of
+     * word w is lane w*64+l's outcome flip vs the noiseless reference.
+     * Lanes the caller knows to be leaked are masked off by the driver
+     * after the fact.
      */
-    virtual LaneMask measure_z(int q) = 0;
+    virtual void measure_z(int q, LaneMask* out) = 0;
 
     /** Fired when qubit q's leak flag rises 0 -> 1 in the lanes given. */
-    virtual void park_leaked(int q, LaneMask lanes) = 0;
+    virtual void park_leaked(int q, const LaneMask* lanes) = 0;
 };
 
 /**
  * The batch execution path of the shared LeakageDriver: the SAME classical
  * leakage semantics (sim/leakage_driver.{h,cc} is the reference
- * implementation), executed for up to kBatchLanes shots in lockstep over a
- * BatchStatePrimitives provider.
+ * implementation), executed for up to batch_words*64 shots in lockstep
+ * over a BatchStatePrimitives provider.
  *
  * Determinism contract — the reason this driver can exist at all:
  *  - Lane l owns an independent noise stream, master.split(shot_base + l),
@@ -398,14 +472,16 @@ class BatchStatePrimitives {
  *    ascending order and draws per lane from that lane's stream, in the
  *    same within-shot order as the scalar driver — so each lane's draw
  *    sequence is bit-identical to the scalar backend's corresponding
- *    shot, no matter what the other lanes do.
+ *    shot, no matter what the other lanes do.  This holds at EVERY batch
+ *    width: lane (w, l) of a K-word batch replays scalar shot w*64+l of
+ *    the block draw for draw.
  *  - Control flow is computed per lane into masks; state mutation happens
  *    through word-wide masked primitives (the speedup), but never in a
  *    way the scalar driver could distinguish.
  *
  * Any semantic change to the scalar LeakageDriver MUST be mirrored here;
  * the cross-backend gate (frame vs batch_frame Metrics must be
- * bit-identical, tier-1) is what catches a fork.
+ * bit-identical at every K, tier-1) is what catches a fork.
  */
 class BatchLeakageDriver final {
   public:
@@ -414,10 +490,12 @@ class BatchLeakageDriver final {
      *        master.split(sum of earlier batch widths + l).  Pass the
      *        SAME master the scalar backend would construct from the seed
      *        and the lane streams line up shot for shot.
+     * @param batch_words words per lane span (1 <= K <= kMaxBatchWords);
+     *        one batch holds up to batch_words*64 shots.
      */
     BatchLeakageDriver(const CssCode& code, const RoundCircuit& rc,
                        const NoiseParams& np, Rng master,
-                       BatchStatePrimitives* state);
+                       BatchStatePrimitives* state, int batch_words);
 
     // Non-copyable for the same reason as LeakageDriver: the driver holds
     // the backend's primitives pointer.
@@ -425,43 +503,70 @@ class BatchLeakageDriver final {
     BatchLeakageDriver& operator=(const BatchLeakageDriver&) = delete;
 
     /**
-     * Starts a new batch of `n_lanes` shots (1 <= n_lanes <= kBatchLanes):
-     * clears flags/history/state, actives lanes [0, n_lanes) and reseeds
-     * lane l with master.split(shots_started + l).  Lanes >= n_lanes are
-     * padding: masked off everywhere and never drawing.
+     * Starts a new batch of `n_lanes` shots (1 <= n_lanes <=
+     * n_words()*64): clears flags/history/state, actives lanes
+     * [0, n_lanes) and reseeds lane l with master.split(shots_started +
+     * l).  Lanes >= n_lanes are padding: masked off everywhere and never
+     * drawing — a partial batch's mask boundary may fall mid-span (a
+     * full low word, a partial high word, empty words above).
      */
     void reset_shot_batch(int n_lanes);
 
-    /** Lanes currently active (padding excluded). */
-    LaneMask active() const { return active_; }
+    /** Words per lane span (the K of this driver). */
+    int n_words() const { return words_; }
+    /** Lanes currently active (padding excluded), n_words() words. */
+    const LaneMask* active() const { return active_; }
     int n_lanes() const { return n_lanes_; }
 
-    /** Raises the leak flag of qubit q in `lanes` (park hook on rise). */
-    void set_leak(int q, LaneMask lanes);
-    /** Raises check c's ancilla leak flag in `lanes`. */
-    void set_check_leak(int c, LaneMask lanes)
+    /** Raises the leak flag of qubit q in the `lanes` span. */
+    void set_leak(int q, const LaneMask* lanes);
+    /** Raises check c's ancilla leak flag in the `lanes` span. */
+    void set_check_leak(int c, const LaneMask* lanes)
     {
         set_leak(code_->ancilla_of(c), lanes);
     }
-    /** Clears qubit q's leak flag in `lanes`. */
-    void clear_leak(int q, LaneMask lanes)
+    /** Clears qubit q's leak flag in the `lanes` span. */
+    void clear_leak(int q, const LaneMask* lanes)
     {
-        leaked_[static_cast<size_t>(q)] &= ~lanes;
+        LaneMask* lw = &leaked_[static_cast<size_t>(q) *
+                                static_cast<size_t>(words_)];
+        for (int w = 0; w < words_; ++w)
+            lw[w] &= ~lanes[w];
     }
-    /** Leak-flag word of qubit q (bit per lane). */
-    LaneMask leaked(int q) const { return leaked_[static_cast<size_t>(q)]; }
-    /** Leak-flag words of every qubit (data first, then ancillas). */
+
+    // Per-lane (one-hot) variants of the flag ops, for the scalar
+    // adapters and the per-lane LRC gadgets.
+    void set_leak_lane(int q, int lane);
+    void set_check_leak_lane(int c, int lane)
+    {
+        set_leak_lane(code_->ancilla_of(c), lane);
+    }
+    void clear_leak_lane(int q, int lane)
+    {
+        leaked_[static_cast<size_t>(q) * static_cast<size_t>(words_) +
+                static_cast<size_t>(lane >> 6)] &= ~(1ull << (lane & 63));
+    }
+
+    /** Leak-flag span of qubit q (n_words() words, bit per lane). */
+    const LaneMask* leaked(int q) const
+    {
+        return &leaked_[static_cast<size_t>(q) *
+                        static_cast<size_t>(words_)];
+    }
+    /**
+     * Leak-flag words of every qubit, data first then ancillas: entry
+     * q*n_words()+w is word w of qubit q's span.
+     */
     const LaneMask* leaked_words() const { return leaked_.data(); }
 
     // --- Per-lane ground truth (the runner's accounting view). ---
     bool data_leaked(int lane, int q) const
     {
-        return (leaked_[static_cast<size_t>(q)] >> lane) & 1u;
+        return lane_bit(leaked(q), lane);
     }
     bool check_leaked(int lane, int c) const
     {
-        return (leaked_[static_cast<size_t>(code_->ancilla_of(c))] >> lane) &
-               1u;
+        return lane_bit(leaked(code_->ancilla_of(c)), lane);
     }
     int n_data_leaked(int lane) const;
     int n_check_leaked(int lane) const;
@@ -531,33 +636,59 @@ class BatchLeakageDriver final {
 
     void apply_lrc_data(int q, int lane);
     void apply_lrc_check(int c, int lane);
-    void depolarize1(int q);
-    void depolarize2(int q0, int q1);
-    void leak_maybe(int q);
-    void cnot(int control, int target);
+
+    // The hot per-op helpers are templated on the batch width: WT > 0 is
+    // a compile-time word count (the W loops unroll away — at the
+    // common W=1 every span op is straight-line single-word code), WT ==
+    // 0 reads the runtime words_.  run_round_batch dispatches once per
+    // round on words_; everything below inlines into that instantiation.
+    template <int WT> void depolarize1(int q);
+    template <int WT> void depolarize2(int q0, int q1);
+    template <int WT> void leak_maybe(int q);
+    template <int WT> void cnot(int control, int target);
+    template <int WT> void set_leak_t(int q, const LaneMask* lanes);
 
     /**
-     * One word-wide Bernoulli site: every lane of `mask` draws once from
-     * its own stream (lanes outside `mask` do not advance) and the fired
-     * lanes come back as a mask.  Bit-identical per lane to
-     * Rng::bernoulli, including the no-draw p<=0 / p>=1 short-circuits.
+     * One word-wide Bernoulli site: every lane of the `mask` span draws
+     * once from its own stream (lanes outside `mask` do not advance) and
+     * the fired lanes are written to the `out` span.  Returns the OR of
+     * the out words (nonzero iff any lane fired).  Bit-identical per
+     * lane to Rng::bernoulli, including the no-draw p<=0 / p>=1
+     * short-circuits.
      */
-    LaneMask bernoulli_mask(const LaneRate& rate, LaneMask mask);
+    template <int WT>
+    LaneMask bernoulli_mask(const LaneRate& rate, const LaneMask* mask,
+                            LaneMask* out);
 
-    /** Packs bits[0..n) (each 0 or 1) into a LaneMask, bit l = bits[l]. */
-    static LaneMask pack_bits(const uint64_t* bits, int n)
+    /** Packs bits[0..n) (each 0 or 1) into out (ceil(n/64) words). */
+    static void pack_bits(const uint64_t* bits, int n, LaneMask* out)
     {
-        LaneMask m = 0;
-        for (int l = 0; l < n; ++l)
-            m |= bits[l] << l;
-        return m;
+        for (int w = 0; w * kBatchLanes < n; ++w) {
+            const int base = w * kBatchLanes;
+            const int lim =
+                n - base < kBatchLanes ? n - base : kBatchLanes;
+            LaneMask m = 0;
+            for (int b = 0; b < lim; ++b)
+                m |= bits[base + b] << b;
+            out[w] = m;
+        }
     }
-    LaneMask pack_bits(int n) const { return pack_bits(bits_, n); }
+    void pack_bits(int n, LaneMask* out) const
+    {
+        pack_bits(bits_, n, out);
+    }
 
     /** Fused depolarize1 + leak_maybe (the per-data-qubit noise pair). */
-    void data_noise_pair(int q);
+    template <int WT> void data_noise_pair(int q);
     /** Fused depolarize2 + leak_maybe x2 (the per-CNOT noise triple). */
-    void cnot_noise_triple(int control, int target);
+    template <int WT> void cnot_noise_triple(int control, int target);
+
+    /** Width-specialized bodies of the two public batch entry points. */
+    template <int WT>
+    void run_round_t(const std::vector<LrcSchedule>& lane_lrcs,
+                     std::vector<RoundResult>* out);
+    template <int WT>
+    void final_measure_t(std::vector<std::vector<uint8_t>>* out);
 
     const CssCode* code_;
     const RoundCircuit* rc_;
@@ -567,19 +698,20 @@ class BatchLeakageDriver final {
     LaneRate rate_mlr_;  ///< np.mlr_err()
     Rng master_rng_;
     uint64_t shots_started_ = 0;
-    LaneRngBank lane_rng_;  ///< kBatchLanes per-lane shot streams (SoA)
-    uint64_t draw_[kBatchLanes];  ///< scratch for word-wide draw sites
-    uint64_t bits_[kBatchLanes];  ///< scratch: 0/1 compare results
+    int words_ = 1;         ///< K: words per lane span
+    LaneRngBank lane_rng_;  ///< per-lane shot streams (SoA)
+    uint64_t draw_[kMaxBatchLanes];  ///< scratch for word-wide draw sites
+    uint64_t bits_[kMaxBatchLanes];  ///< scratch: 0/1 compare results
 
-    LaneMask active_ = 0;
+    LaneMask active_[kMaxBatchWords] = {};
     int n_lanes_ = 0;
     bool first_round_ = true;
 
-    std::vector<LaneMask> leaked_;     ///< leak-flag word per qubit
-    std::vector<LaneMask> prev_meas_;  ///< previous meas_flip word per check
-    std::vector<LaneMask> meas_flip_;  ///< scratch, word per check
-    std::vector<LaneMask> mlr_flag_;   ///< scratch, word per check
-    std::vector<LaneMask> det_scratch_;  ///< scratch, word per check
+    std::vector<LaneMask> leaked_;     ///< leak-flag span per qubit
+    std::vector<LaneMask> prev_meas_;  ///< previous meas_flip per check
+    std::vector<LaneMask> meas_flip_;  ///< scratch, span per check
+    std::vector<LaneMask> mlr_flag_;   ///< scratch, span per check
+    std::vector<LaneMask> det_scratch_;  ///< scratch, span per check
     std::vector<int> lrc_partner_;
     std::vector<LaneOracle> lane_oracles_;
     BatchStatePrimitives* state_;
@@ -593,7 +725,7 @@ class BatchLeakageDriver final {
  */
 class BatchSimulator : public Simulator {
   public:
-    /** Max shots one batch holds (kBatchLanes for bit-packed backends). */
+    /** Max shots one batch holds (batch_words*64 for packed backends). */
     virtual int batch_width() const = 0;
 
     /** Starts a batch of n_lanes shots (see BatchLeakageDriver). */
@@ -605,11 +737,15 @@ class BatchSimulator : public Simulator {
     /** Ground-truth oracle of one lane's shot. */
     virtual const LeakageOracle& lane_oracle(int lane) const = 0;
 
+    /** Words per lane span (K); leaked_words() strides by this. */
+    virtual int batch_n_words() const = 0;
+
     /**
-     * Ground-truth leak-flag words, one per qubit (bit = lane) — the
-     * whole batch's truth in one read, so the runner's per-round
-     * speculation accounting is popcounts over words instead of 64
-     * oracle walks (entry q = qubit q, data then ancillas).
+     * Ground-truth leak-flag words, one span per qubit (bit l of word w
+     * = lane w*64+l) — the whole batch's truth in one read, so the
+     * runner's per-round speculation accounting is popcounts over words
+     * instead of per-lane oracle walks.  Entry q*batch_n_words()+w is
+     * word w of qubit q (data qubits first, then ancillas).
      */
     virtual const LaneMask* leaked_words() const = 0;
 
@@ -631,14 +767,18 @@ class BatchSimulator : public Simulator {
 class BatchLeakageDriverSim : public BatchSimulator,
                               protected BatchStatePrimitives {
   public:
-    int batch_width() const final { return kBatchLanes; }
+    int batch_width() const final
+    {
+        return driver_.n_words() * kBatchLanes;
+    }
+    int batch_n_words() const final { return driver_.n_words(); }
     void reset_shot_batch(int n_lanes) final
     {
         driver_.reset_shot_batch(n_lanes);
     }
     void inject_data_leak_lane(int lane, int q) final
     {
-        driver_.set_leak(q, 1ull << lane);
+        driver_.set_leak_lane(q, lane);
     }
     const LeakageOracle& lane_oracle(int lane) const final
     {
@@ -661,11 +801,14 @@ class BatchLeakageDriverSim : public BatchSimulator,
 
     // --- Scalar Simulator API: lane 0 of a one-lane batch. ---
     void reset_shot() final { driver_.reset_shot_batch(1); }
-    void inject_data_leak(int q) final { driver_.set_leak(q, 1u); }
-    void inject_check_leak(int c) final { driver_.set_check_leak(c, 1u); }
-    void inject_x(int q) final { apply_pauli(q, 1u, 0u); }
-    void inject_z(int q) final { apply_pauli(q, 0u, 1u); }
-    void clear_leak(int q) final { driver_.clear_leak(q, 1u); }
+    void inject_data_leak(int q) final { driver_.set_leak_lane(q, 0); }
+    void inject_check_leak(int c) final
+    {
+        driver_.set_check_leak_lane(c, 0);
+    }
+    void inject_x(int q) final { apply_pauli(q, kLaneZeroOne, kLanesNone); }
+    void inject_z(int q) final { apply_pauli(q, kLanesNone, kLaneZeroOne); }
+    void clear_leak(int q) final { driver_.clear_leak_lane(q, 0); }
     const LeakageOracle& leak_oracle() const final
     {
         return driver_.lane_oracle(0);
@@ -681,16 +824,22 @@ class BatchLeakageDriverSim : public BatchSimulator,
 
   protected:
     /** @param master see BatchLeakageDriver — pass the scalar backend's
-     *         master (e.g. Rng(seed)) for shot-for-shot lane alignment. */
+     *         master (e.g. Rng(seed)) for shot-for-shot lane alignment.
+     *  @param batch_words the K of this backend's lane spans. */
     BatchLeakageDriverSim(const CssCode& code, const RoundCircuit& rc,
-                          const NoiseParams& np, Rng master)
-        : driver_(code, rc, np, master, this)
+                          const NoiseParams& np, Rng master,
+                          int batch_words)
+        : driver_(code, rc, np, master, this, batch_words)
     {
     }
 
     BatchLeakageDriver driver_;
 
   private:
+    // Constant spans for the scalar (lane 0) injection adapters.
+    static constexpr LaneMask kLaneZeroOne[kMaxBatchWords] = {1};
+    static constexpr LaneMask kLanesNone[kMaxBatchWords] = {};
+
     // Scratch for the scalar API adapters (reused across rounds).
     std::vector<LrcSchedule> one_lrcs_{1};
     std::vector<RoundResult> one_round_;

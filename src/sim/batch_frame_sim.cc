@@ -1,14 +1,21 @@
 #include "sim/batch_frame_sim.h"
 
+#include <algorithm>
+
 namespace gld {
 
 BatchFrameSim::BatchFrameSim(const CssCode& code, const RoundCircuit& rc,
-                             const NoiseParams& np, uint64_t seed)
-    // Same master stream as LeakFrameSim(seed): lane k of batch b is
-    // bit-identical to the scalar frame backend's shot (64*b + k).
-    : BatchLeakageDriverSim(code, rc, np, Rng(seed)),
-      fx_(static_cast<size_t>(code.n_qubits()), 0),
-      fz_(static_cast<size_t>(code.n_qubits()), 0)
+                             const NoiseParams& np, uint64_t seed,
+                             int batch_words)
+    // Same master stream as LeakFrameSim(seed): lane l of batch b is
+    // bit-identical to the scalar frame backend's shot (64*K*b + l),
+    // at every batch width K.
+    : BatchLeakageDriverSim(code, rc, np, Rng(seed), batch_words),
+      words_(driver().n_words()),
+      fx_(static_cast<size_t>(code.n_qubits()) *
+              static_cast<size_t>(words_),
+          0),
+      fz_(fx_.size(), 0)
 {
 }
 
@@ -20,47 +27,63 @@ BatchFrameSim::reset_state()
 }
 
 void
-BatchFrameSim::apply_pauli(int q, LaneMask xs, LaneMask zs)
+BatchFrameSim::apply_pauli(int q, const LaneMask* xs, const LaneMask* zs)
 {
-    fx_[static_cast<size_t>(q)] ^= xs;
-    fz_[static_cast<size_t>(q)] ^= zs;
+    const size_t base = static_cast<size_t>(q) * static_cast<size_t>(words_);
+    for (int w = 0; w < words_; ++w) {
+        fx_[base + static_cast<size_t>(w)] ^= xs[w];
+        fz_[base + static_cast<size_t>(w)] ^= zs[w];
+    }
 }
 
 void
-BatchFrameSim::coherent_cnot(int control, int target, LaneMask lanes)
+BatchFrameSim::coherent_cnot(int control, int target, const LaneMask* lanes)
 {
     // X copies c->t, Z copies t->c — in the selected lanes only.
-    fx_[static_cast<size_t>(target)] ^=
-        fx_[static_cast<size_t>(control)] & lanes;
-    fz_[static_cast<size_t>(control)] ^=
-        fz_[static_cast<size_t>(target)] & lanes;
+    const size_t cb =
+        static_cast<size_t>(control) * static_cast<size_t>(words_);
+    const size_t tb =
+        static_cast<size_t>(target) * static_cast<size_t>(words_);
+    for (int w = 0; w < words_; ++w) {
+        const size_t ws = static_cast<size_t>(w);
+        fx_[tb + ws] ^= fx_[cb + ws] & lanes[w];
+        fz_[cb + ws] ^= fz_[tb + ws] & lanes[w];
+    }
 }
 
 void
-BatchFrameSim::hadamard(int q, LaneMask lanes)
+BatchFrameSim::hadamard(int q, const LaneMask* lanes)
 {
     // Swap the X and Z bits of the selected lanes.
-    const LaneMask diff =
-        (fx_[static_cast<size_t>(q)] ^ fz_[static_cast<size_t>(q)]) & lanes;
-    fx_[static_cast<size_t>(q)] ^= diff;
-    fz_[static_cast<size_t>(q)] ^= diff;
+    const size_t base = static_cast<size_t>(q) * static_cast<size_t>(words_);
+    for (int w = 0; w < words_; ++w) {
+        const size_t i = base + static_cast<size_t>(w);
+        const LaneMask diff = (fx_[i] ^ fz_[i]) & lanes[w];
+        fx_[i] ^= diff;
+        fz_[i] ^= diff;
+    }
 }
 
 void
-BatchFrameSim::reset_z(int q, LaneMask lanes)
+BatchFrameSim::reset_z(int q, const LaneMask* lanes)
 {
-    fx_[static_cast<size_t>(q)] &= ~lanes;
-    fz_[static_cast<size_t>(q)] &= ~lanes;
-}
-
-LaneMask
-BatchFrameSim::measure_z(int q)
-{
-    return fx_[static_cast<size_t>(q)];
+    const size_t base = static_cast<size_t>(q) * static_cast<size_t>(words_);
+    for (int w = 0; w < words_; ++w) {
+        fx_[base + static_cast<size_t>(w)] &= ~lanes[w];
+        fz_[base + static_cast<size_t>(w)] &= ~lanes[w];
+    }
 }
 
 void
-BatchFrameSim::park_leaked(int /*q*/, LaneMask /*lanes*/)
+BatchFrameSim::measure_z(int q, LaneMask* out)
+{
+    const size_t base = static_cast<size_t>(q) * static_cast<size_t>(words_);
+    for (int w = 0; w < words_; ++w)
+        out[w] = fx_[base + static_cast<size_t>(w)];
+}
+
+void
+BatchFrameSim::park_leaked(int /*q*/, const LaneMask* /*lanes*/)
 {
     // A leaked lane's frame freezes in place, exactly like the scalar
     // frame backend: the driver routes no coherent gates at it.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/batch_frame_sim.h"
+#include "sim/batch_tableau_sim.h"
 #include "sim/frame_sim.h"
 #include "sim/tableau_leak_sim.h"
 
@@ -19,10 +20,12 @@ namespace {
  *
  * rng_contract groups backends that replay the SAME (seed, stream,
  * block) draw sequence: frame and batch_frame share contract 0 (lane k
- * of a batch is scalar shot k draw for draw), so their Metrics are
- * bit-identical by construction and the verify referee compares them
- * bit-exactly.  The tableau engine draws its own measurement-collapse
- * randomness (contract 1) and agrees only statistically.
+ * of a batch is scalar shot k draw for draw, at every batch width), so
+ * their Metrics are bit-identical by construction and the verify referee
+ * compares them bit-exactly.  The tableau engine draws its own
+ * measurement-collapse randomness (contract 1); batch_tableau draws
+ * per-lane collapse randomness from yet another derivation (contract 2)
+ * — each agrees with the others only statistically.
  */
 struct BackendEntry {
     SimBackend backend;
@@ -34,6 +37,7 @@ constexpr BackendEntry kBackendTable[] = {
     {SimBackend::kFrame, "frame", 0},
     {SimBackend::kTableau, "tableau", 1},
     {SimBackend::kBatchFrame, "batch_frame", 0},
+    {SimBackend::kBatchTableau, "batch_tableau", 2},
 };
 
 [[noreturn]] void
@@ -149,22 +153,61 @@ backend_cost_factor(SimBackend backend, int n_qubits)
         // per-lane noise draws keep it from being exactly 1/64; the
         // benchmark BM_BackendThroughput measures the real ratio).
         return 1.0 / 64.0;
+      case SimBackend::kBatchTableau: {
+        // Per lane the state cost is the scalar tableau's O(n^2/64); the
+        // batch only amortizes the round's noise machinery, which the
+        // tableau cost dwarfs on all but the smallest codes.
+        const double n = static_cast<double>(n_qubits);
+        const double factor = n * n / 64.0;
+        return factor < 1.0 ? 1.0 : factor;
+      }
     }
     throw_unknown_backend("invalid SimBackend value " +
                           std::to_string(static_cast<int>(backend)));
 }
 
+int
+batch_words_from_env()
+{
+    const char* s = std::getenv("GLD_BATCH_WORDS");
+    if (s == nullptr || s[0] == '\0')
+        return 1;
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v < 1 ||
+        v > static_cast<long>(kMaxBatchWords)) {
+        throw std::runtime_error(
+            "GLD_BATCH_WORDS=\"" + std::string(s) +
+            "\" is not a batch width in [1, " +
+            std::to_string(kMaxBatchWords) + "]");
+    }
+    return static_cast<int>(v);
+}
+
 std::unique_ptr<Simulator>
 make_simulator(SimBackend backend, const CssCode& code,
-               const RoundCircuit& rc, const NoiseParams& np, uint64_t seed)
+               const RoundCircuit& rc, const NoiseParams& np, uint64_t seed,
+               int batch_words)
 {
+    // Out-of-range widths throw for every backend (not just the batch
+    // ones), so a bad config fails identically no matter the backend.
+    if (batch_words < 1 || batch_words > kMaxBatchWords) {
+        throw std::invalid_argument("make_simulator: batch_words " +
+                                    std::to_string(batch_words) +
+                                    " outside [1, " +
+                                    std::to_string(kMaxBatchWords) + "]");
+    }
     switch (backend) {
       case SimBackend::kFrame:
         return std::make_unique<LeakFrameSim>(code, rc, np, seed);
       case SimBackend::kTableau:
         return std::make_unique<TableauLeakSim>(code, rc, np, seed);
       case SimBackend::kBatchFrame:
-        return std::make_unique<BatchFrameSim>(code, rc, np, seed);
+        return std::make_unique<BatchFrameSim>(code, rc, np, seed,
+                                               batch_words);
+      case SimBackend::kBatchTableau:
+        return std::make_unique<BatchTableauSim>(code, rc, np, seed,
+                                                 batch_words);
     }
     throw_unknown_backend("make_simulator: invalid SimBackend value " +
                           std::to_string(static_cast<int>(backend)));

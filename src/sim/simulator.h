@@ -12,6 +12,14 @@
 
 namespace gld {
 
+/**
+ * Upper bound on the batch width multiplier K
+ * (ExperimentConfig::batch_words): batch backends pack up to
+ * kMaxBatchWords * 64 shots per scheduler block.  8 words = 512 lanes
+ * keeps the lane-RNG bank (4 SoA rows) at 16 KiB — L1-resident.
+ */
+constexpr int kMaxBatchWords = 8;
+
 /** Outcome of one QEC round, as seen by the controller. */
 struct RoundResult {
     /** Measurement flip (vs the noiseless reference) per check. */
@@ -136,17 +144,21 @@ class Simulator {
  * The available backends.  kFrame is the paper's Pauli-frame engine (fast,
  * samples Pauli noise exactly); kTableau drives the exact CHP stabilizer
  * tableau through the same round circuit (slower by O(n^2) per
- * measurement; exact-stabilizer states); kBatchFrame packs 64 shots into
- * one word per qubit and runs them in lockstep through the batch driver —
- * bit-identical Metrics to kFrame at several times the shots/second
- * (BM_BackendThroughput measures the real ratio; the per-lane noise
- * draws both engines must make bound it).  All share the one
- * LeakageDriver semantics for every classical-leakage decision.
+ * measurement; exact-stabilizer states); kBatchFrame packs K*64 shots
+ * (K = batch_words) into K words per qubit and runs them in lockstep
+ * through the batch driver — bit-identical Metrics to kFrame at several
+ * times the shots/second (BM_BackendThroughput measures the real ratio;
+ * the per-lane noise draws both engines must make bound it);
+ * kBatchTableau runs K*64 exact CHP tableaux in lockstep behind the same
+ * batch driver, amortizing the per-round noise machinery over the batch
+ * so exact-mode campaigns batch too.  All share the one LeakageDriver
+ * semantics for every classical-leakage decision.
  */
 enum class SimBackend : uint8_t {
     kFrame = 0,
     kTableau = 1,
     kBatchFrame = 2,
+    kBatchTableau = 3,
 };
 
 /** Canonical backend name ("frame" / "tableau" / "batch_frame"). */
@@ -172,6 +184,17 @@ SimBackend backend_from_name(const std::string& name);
 SimBackend backend_from_env();
 
 /**
+ * The batch width multiplier K selected by the GLD_BATCH_WORDS
+ * environment variable — the one resolution point benches, tests and
+ * the demo share.  Unset/empty means 1; anything outside
+ * [1, kMaxBatchWords] (or non-numeric) throws, naming the variable and
+ * the valid range.  K is RESULT-AFFECTING: it sets the scheduler block
+ * size (64*K shots) and therefore the (seed, stream, block) RNG
+ * derivation, so it is part of the config hash when != 1.
+ */
+int batch_words_from_env();
+
+/**
  * RNG contract group of a backend (from the one backend table).  Two
  * backends with the SAME contract id replay identical (seed, stream,
  * block) draw sequences, so any config's Metrics must be BIT-identical
@@ -191,12 +214,18 @@ int backend_rng_contract(SimBackend backend);
  */
 double backend_cost_factor(SimBackend backend, int n_qubits);
 
-/** Builds a backend over a code's scheduled round circuit. */
+/**
+ * Builds a backend over a code's scheduled round circuit.  `batch_words`
+ * is the lane-span width K for the batch backends (batch_frame,
+ * batch_tableau): one batch holds 64*K shots.  Scalar backends ignore
+ * it; out-of-range values throw for every backend.
+ */
 std::unique_ptr<Simulator> make_simulator(SimBackend backend,
                                           const CssCode& code,
                                           const RoundCircuit& rc,
                                           const NoiseParams& np,
-                                          uint64_t seed);
+                                          uint64_t seed,
+                                          int batch_words = 1);
 
 }  // namespace gld
 

@@ -602,6 +602,56 @@ TEST(Observability, ProgressHeatmapAndCalibrationEndToEnd)
                  std::runtime_error);
 }
 
+TEST(Observability, CalibrationKeysOnBatchWidthSoSweepsDontCollide)
+{
+    // The small fix: calibrate/plan --calibration used to key on
+    // (backend, code) only, so a K-sweep's measurements overwrote each
+    // other.  The batch width is part of the key — K=1 keeps the legacy
+    // "backend/code" form so existing calibration files still load and
+    // match.
+    EXPECT_EQ(Calibration::key("batch_frame", "surface:3"),
+              "batch_frame/surface:3");
+    EXPECT_EQ(Calibration::key("batch_frame", "surface:3", 1),
+              "batch_frame/surface:3");
+    EXPECT_EQ(Calibration::key("batch_frame", "surface:3", 4),
+              "batch_frame@w4/surface:3");
+
+    Calibration cal;
+    cal.rates[Calibration::key("batch_frame", "surface:3")] = 100.0;
+    cal.rates[Calibration::key("batch_frame", "surface:3", 4)] = 400.0;
+    EXPECT_TRUE(cal.has("batch_frame", "surface:3"));
+    EXPECT_TRUE(cal.has("batch_frame", "surface:3", 4));
+    EXPECT_FALSE(cal.has("batch_frame", "surface:3", 2));
+    EXPECT_DOUBLE_EQ(cal.rate("batch_frame", "surface:3"), 100.0);
+    EXPECT_DOUBLE_EQ(cal.rate("batch_frame", "surface:3", 4), 400.0);
+    EXPECT_THROW(cal.rate("batch_frame", "surface:3", 2),
+                 std::runtime_error);
+}
+
+TEST(Observability, WideBatchCalibrationNeverMixesWithNarrow)
+{
+    if (!telemetry::kCompiledIn)
+        GTEST_SKIP() << "built with GLD_TELEMETRY=OFF";
+    // End-to-end: a K=2 campaign's telemetry lands under the @w2 key,
+    // plans the K=2 spec, and refuses (rather than silently misprices)
+    // the K=1 spec.
+    CampaignSpec wide = small_spec("observe_wide");
+    wide.batch_words = 2;
+    const std::string dir = fresh_dir("observe_wide");
+    RunShardOptions opt;
+    opt.threads = 1;
+    run_shard(wide, 0, 1, dir, opt);
+
+    const Calibration cal = Calibration::from_telemetry(wide, 1, dir);
+    ASSERT_TRUE(cal.has("frame", "surface:3", 2));
+    EXPECT_FALSE(cal.has("frame", "surface:3"));
+    EXPECT_NO_THROW(CampaignPlan::build(wide, 1, nullptr, &cal));
+
+    const CampaignSpec narrow = small_spec("observe_wide");
+    EXPECT_THROW(CampaignPlan::build(narrow, 1, nullptr, &cal),
+                 std::runtime_error);
+}
+
 TEST(Observability, ResumedJobsKeepTelemetryAndReportPlannedShots)
 {
     if (!telemetry::kCompiledIn)

@@ -23,7 +23,8 @@ using test::expect_metrics_identical;
 
 constexpr SimBackend kBackends[] = {SimBackend::kFrame,
                                     SimBackend::kTableau,
-                                    SimBackend::kBatchFrame};
+                                    SimBackend::kBatchFrame,
+                                    SimBackend::kBatchTableau};
 
 NoiseParams
 noiseless()
@@ -47,6 +48,8 @@ TEST(SimBackends, NamesRoundTrip)
     EXPECT_EQ(backend_from_name("frame"), SimBackend::kFrame);
     EXPECT_EQ(backend_from_name("tableau"), SimBackend::kTableau);
     EXPECT_EQ(backend_from_name("batch_frame"), SimBackend::kBatchFrame);
+    EXPECT_EQ(backend_from_name("batch_tableau"),
+              SimBackend::kBatchTableau);
     for (SimBackend b : kBackends)
         EXPECT_EQ(backend_from_name(backend_name(b)), b);
     EXPECT_THROW(backend_from_name("stim"), std::runtime_error);
@@ -61,8 +64,10 @@ TEST(SimBackends, NamesRoundTrip)
 TEST(SimBackends, KnownBackendsCoverTheEnumAndTheNameList)
 {
     const std::vector<SimBackend>& all = known_backends();
-    ASSERT_EQ(all.size(), 3u);
+    ASSERT_EQ(all.size(), 4u);
     EXPECT_NE(std::find(all.begin(), all.end(), SimBackend::kBatchFrame),
+              all.end());
+    EXPECT_NE(std::find(all.begin(), all.end(), SimBackend::kBatchTableau),
               all.end());
     for (SimBackend b : kBackends)
         EXPECT_NE(std::find(all.begin(), all.end(), b), all.end());
@@ -139,6 +144,34 @@ TEST(SimBackends, CostFactorIsFrameNormalizedAndQuadraticForTableau)
     for (int n : {8, 17, 100, 1000})
         EXPECT_DOUBLE_EQ(backend_cost_factor(SimBackend::kBatchFrame, n),
                          1.0 / 64.0);
+    // The batch tableau backend runs K*64 full tableaux in lockstep —
+    // per SHOT it costs what a scalar tableau shot costs (the batch buys
+    // scheduler-block alignment, not a per-shot win), so the planner
+    // model is the same quadratic.
+    for (int n : {8, 16, 80, 2})
+        EXPECT_DOUBLE_EQ(backend_cost_factor(SimBackend::kBatchTableau, n),
+                         backend_cost_factor(SimBackend::kTableau, n));
+}
+
+TEST(SimBackends, MakeSimulatorRejectsBadBatchWidths)
+{
+    // The batch width is validated uniformly at the factory for every
+    // backend — a bad config fails the same way whether or not the
+    // backend actually packs lanes.
+    const Harness h(SurfaceCode::make(3));
+    for (SimBackend b : kBackends) {
+        SCOPED_TRACE(backend_name(b));
+        for (int words : {0, -1, kMaxBatchWords + 1})
+            EXPECT_THROW(
+                make_simulator(b, h.code, h.rc, noiseless(), 1, words),
+                std::invalid_argument);
+        // Every in-range width constructs.
+        for (int words : {1, 2, kMaxBatchWords}) {
+            const auto sim =
+                make_simulator(b, h.code, h.rc, noiseless(), 1, words);
+            EXPECT_EQ(sim->name(), backend_name(b));
+        }
+    }
 }
 
 TEST(SimBackends, NoiselessSyndromesAreDeterministicOnBothBackends)
@@ -539,10 +572,10 @@ TEST(SimBackends, BackendsAgreeStatisticallyOnDlp)
 {
     // Same config, different backends: the leak-flag dynamics are
     // identical machinery, so the DLP rates must agree statistically
-    // (tableau draws independent measurement randomness).  Refereed by
-    // the SAME stats:: pipeline gld_campaign verify uses — a pooled
-    // two-proportion z-test on Metrics::dlp_sample — instead of the
-    // arbitrary 0.5x..2x ratio bounds this test shipped with.
+    // (the tableau engines draw independent measurement randomness).
+    // Refereed by the SAME stats:: pipeline gld_campaign verify uses — a
+    // pooled two-proportion z-test on Metrics::dlp_sample — instead of
+    // the arbitrary 0.5x..2x ratio bounds this test shipped with.
     const CssCode code = SurfaceCode::make(3);
     const RoundCircuit rc(code);
     const CodeContext ctx(code, rc, CodeContext::default_scope(code));
@@ -556,20 +589,53 @@ TEST(SimBackends, BackendsAgreeStatisticallyOnDlp)
 
     cfg.backend = SimBackend::kFrame;
     const Metrics frame = ExperimentRunner(ctx, cfg).run(PolicyZoo::no_lrc());
-    cfg.backend = SimBackend::kTableau;
-    const Metrics tab = ExperimentRunner(ctx, cfg).run(PolicyZoo::no_lrc());
-
     ASSERT_GT(frame.dlp_mean(), 0.0);
-    ASSERT_GT(tab.dlp_mean(), 0.0);
     const int n_data = code.n_data();
-    const stats::TwoProportionResult r = stats::two_proportion_z(
-        frame.dlp_sample(n_data), tab.dlp_sample(n_data));
-    // One pinned-seed test = one draw from the null; alpha 0.001 keeps
-    // the false-failure budget negligible while catching any real
-    // divergence (a broken backend shifts DLP by far more than 3 sigma).
-    EXPECT_GE(r.p_value, 0.001)
-        << "dlp " << frame.dlp_mean() << " vs " << tab.dlp_mean()
-        << " (z=" << r.z << ")";
+    for (SimBackend b :
+         {SimBackend::kTableau, SimBackend::kBatchTableau}) {
+        SCOPED_TRACE(backend_name(b));
+        cfg.backend = b;
+        const Metrics tab =
+            ExperimentRunner(ctx, cfg).run(PolicyZoo::no_lrc());
+        ASSERT_GT(tab.dlp_mean(), 0.0);
+        const stats::TwoProportionResult r = stats::two_proportion_z(
+            frame.dlp_sample(n_data), tab.dlp_sample(n_data));
+        // One pinned-seed test = one draw from the null; alpha 0.001
+        // keeps the false-failure budget negligible while catching any
+        // real divergence (a broken backend shifts DLP by far more than
+        // 3 sigma).
+        EXPECT_GE(r.p_value, 0.001)
+            << "dlp " << frame.dlp_mean() << " vs " << tab.dlp_mean()
+            << " (z=" << r.z << ")";
+    }
+}
+
+TEST(BatchFrameBitEquality, ScalarInterfaceAtWideBatchStillMatchesFrame)
+{
+    // The scalar Simulator adapters run one-lane batches regardless of
+    // the constructed batch width: lane 0's RNG stream is derived from
+    // the same per-shot split at any K, so a K=4 batch sim driven
+    // through the scalar API must still equal frame draw for draw.
+    const Harness h(SurfaceCode::make(3));
+    const NoiseParams np = NoiseParams::standard(5e-3, 1.0);
+    const auto frame =
+        make_simulator(SimBackend::kFrame, h.code, h.rc, np, 99);
+    const auto batch = make_simulator(SimBackend::kBatchFrame, h.code,
+                                      h.rc, np, 99, /*batch_words=*/4);
+    const LrcSchedule none;
+    for (int shot = 0; shot < 4; ++shot) {
+        frame->reset_shot();
+        batch->reset_shot();
+        for (int r = 0; r < 6; ++r) {
+            const RoundResult a = frame->run_round(none);
+            const RoundResult b = batch->run_round(none);
+            EXPECT_EQ(a.meas_flip, b.meas_flip);
+            EXPECT_EQ(a.detector, b.detector);
+            EXPECT_EQ(a.mlr_flag, b.mlr_flag);
+        }
+        EXPECT_EQ(frame->final_data_measure(),
+                  batch->final_data_measure());
+    }
 }
 
 }  // namespace

@@ -87,11 +87,41 @@ TEST(TelemetryDriftGate, MetricsBitIdenticalWithAndWithoutCollector)
     const CodeContext ctx(code, rc, CodeContext::default_scope(code));
     const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
 
-    for (SimBackend backend : {SimBackend::kFrame, SimBackend::kTableau,
-                               SimBackend::kBatchFrame}) {
+    for (SimBackend backend :
+         {SimBackend::kFrame, SimBackend::kTableau, SimBackend::kBatchFrame,
+          SimBackend::kBatchTableau}) {
         SCOPED_TRACE(backend_name(backend));
         ExperimentConfig cfg = small_config(backend);
         for (int threads : {1, 8}) {
+            SCOPED_TRACE(threads);
+            cfg.threads = threads;
+            const Metrics bare = ExperimentRunner(ctx, cfg).run(factory);
+            const Metrics observed =
+                run_collected(ctx, cfg, factory, /*heatmap=*/true, nullptr);
+            expect_metrics_identical(bare, observed);
+        }
+    }
+}
+
+// The drift gate again at a multi-word batch width: the K-word heatmap
+// popcount path and the K-word FN/DLP accounting must be side-channel
+// clean too (same bits with and without a collector attached).
+TEST(TelemetryDriftGate, MetricsBitIdenticalAtWideBatchWidth)
+{
+    if (!telemetry::kCompiledIn)
+        GTEST_SKIP() << "built with GLD_TELEMETRY=OFF";
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+
+    for (SimBackend backend :
+         {SimBackend::kBatchFrame, SimBackend::kBatchTableau}) {
+        SCOPED_TRACE(backend_name(backend));
+        ExperimentConfig cfg = small_config(backend);
+        cfg.batch_words = 2;
+        cfg.rng_streams = 1;  // 96 shots: one 128-lane block, 32 masked
+        for (int threads : {1, 4}) {
             SCOPED_TRACE(threads);
             cfg.threads = threads;
             const Metrics bare = ExperimentRunner(ctx, cfg).run(factory);
@@ -113,8 +143,9 @@ TEST(TelemetryDeterminism, AggregatesIdenticalAcrossThreadCounts)
     const CodeContext ctx(code, rc, CodeContext::default_scope(code));
     const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
 
-    for (SimBackend backend : {SimBackend::kFrame, SimBackend::kTableau,
-                               SimBackend::kBatchFrame}) {
+    for (SimBackend backend :
+         {SimBackend::kFrame, SimBackend::kTableau, SimBackend::kBatchFrame,
+          SimBackend::kBatchTableau}) {
         SCOPED_TRACE(backend_name(backend));
         ExperimentConfig cfg = small_config(backend);
         cfg.threads = 1;
@@ -200,6 +231,45 @@ TEST(TelemetryDeterminism, RecordInvariantsHold)
     EXPECT_EQ(rec.heatmap.rounds, cfg.rounds);
     EXPECT_EQ(rec.heatmap.n_data, code.n_data());
     EXPECT_EQ(rec.heatmap.n_checks, code.n_checks());
+    uint64_t data_occupancy = 0;
+    for (int r = 0; r < rec.heatmap.rounds; ++r)
+        for (int q = 0; q < rec.heatmap.n_data; ++q)
+            data_occupancy += rec.heatmap.at(r, q);
+    uint64_t hist_moment = 0;
+    for (size_t k = 0; k < rec.leak_hist.size(); ++k)
+        hist_moment += static_cast<uint64_t>(k) * rec.leak_hist[k];
+    EXPECT_EQ(data_occupancy, hist_moment);
+    EXPECT_GT(data_occupancy, 0u);
+}
+
+// The same two-projection invariants at a multi-word batch width: the
+// heatmap's per-(round, qubit) occupancy now comes from popcounts summed
+// over K leak words, and it must still tile every (shot, round) pair
+// exactly once — a word mis-indexed in the K-word popcount path breaks
+// the histogram/heatmap moment identity immediately.
+TEST(TelemetryDeterminism, RecordInvariantsHoldAtWideBatchWidth)
+{
+    if (!telemetry::kCompiledIn)
+        GTEST_SKIP() << "built with GLD_TELEMETRY=OFF";
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+
+    ExperimentConfig cfg = small_config(SimBackend::kBatchFrame);
+    cfg.batch_words = 2;
+    cfg.rng_streams = 1;  // 96 shots: one partial 128-lane block
+    telemetry::Record rec;
+    run_collected(ctx, cfg, factory, /*heatmap=*/true, &rec);
+
+    EXPECT_EQ(rec.shots, static_cast<uint64_t>(cfg.shots));
+    EXPECT_EQ(rec.rounds, static_cast<uint64_t>(cfg.shots) *
+                              static_cast<uint64_t>(cfg.rounds));
+    const uint64_t hist_total = std::accumulate(
+        rec.leak_hist.begin(), rec.leak_hist.end(), uint64_t{0});
+    EXPECT_EQ(hist_total, rec.rounds);
+
+    ASSERT_TRUE(rec.heatmap.enabled());
     uint64_t data_occupancy = 0;
     for (int r = 0; r < rec.heatmap.rounds; ++r)
         for (int q = 0; q < rec.heatmap.n_data; ++q)

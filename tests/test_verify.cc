@@ -121,6 +121,15 @@ TEST(VerifyCompareMode, FollowsRngContractUnlessPerturbed)
     // tableau draws independent measurement randomness.
     EXPECT_EQ(CompareMode::kStatistical,
               verify_compare_mode(SimBackend::kTableau, opt));
+    // batch_tableau derives its per-lane tableau streams differently
+    // from scalar tableau (a third RNG contract): statistical against
+    // frame AND against tableau.
+    EXPECT_EQ(CompareMode::kStatistical,
+              verify_compare_mode(SimBackend::kBatchTableau, opt));
+    VerifyOptions tab_ref = opt;
+    tab_ref.reference = SimBackend::kTableau;
+    EXPECT_EQ(CompareMode::kStatistical,
+              verify_compare_mode(SimBackend::kBatchTableau, tab_ref));
 
     // Any deliberate perturbation downgrades to statistical.
     VerifyOptions seeds = opt;
@@ -139,9 +148,10 @@ TEST(VerifyCandidates, DefaultIsEveryOtherBackend)
 {
     VerifyOptions opt;  // reference = frame, candidates empty
     const std::vector<SimBackend> c = verify_candidates(opt);
-    ASSERT_EQ(2u, c.size());
+    ASSERT_EQ(3u, c.size());
     EXPECT_EQ(SimBackend::kTableau, c[0]);
     EXPECT_EQ(SimBackend::kBatchFrame, c[1]);
+    EXPECT_EQ(SimBackend::kBatchTableau, c[2]);
 }
 
 TEST(VerifyCandidates, SelfCandidateNeedsIndependentSeeds)
@@ -176,6 +186,25 @@ TEST(RunVerify, BitExactArmPassesAndRecordsNoChecks)
     EXPECT_TRUE(report.points[0].bit_mismatches.empty());
     EXPECT_TRUE(report.points[0].checks.empty());
     EXPECT_EQ(0, report.n_stat_tests);
+}
+
+TEST(RunVerify, BatchTableauAgreesStatisticallyWithTableauReference)
+{
+    // The exact-engine referee: the scalar tableau backend judges the
+    // K*64-lockstep batch tableau backend.  Different per-lane RNG
+    // derivations make this a statistical comparison by contract, and
+    // the two exact engines must agree on every refereed rate.
+    const CampaignSpec grid = tiny_grid("battab", 0xBA77ABu);
+    VerifyOptions opt;
+    opt.reference = SimBackend::kTableau;
+    opt.candidates = {SimBackend::kBatchTableau};
+    opt.threads = 2;
+    const VerifyReport report =
+        run_verify(grid, opt, 1, fresh_dir("battab"));
+    EXPECT_TRUE(report.pass);
+    ASSERT_EQ(1u, report.points.size());
+    EXPECT_EQ(CompareMode::kStatistical, report.points[0].mode);
+    EXPECT_GT(report.n_stat_tests, 0);
 }
 
 TEST(RunVerify, NullCalibrationPassesAtAlpha)

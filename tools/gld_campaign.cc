@@ -85,6 +85,10 @@ usage(const char* argv0)
         "  --backend <name>     simulation backend: %s\n"
         "                       (overrides the spec; changes every job's\n"
         "                       config hash, so results never mix)\n"
+        "  --batch-words <K>    batch width in 64-lane words, 1..%d\n"
+        "                       (overrides the spec; sets the scheduler\n"
+        "                       block to K*64 shots, so like --backend it\n"
+        "                       changes every job's config hash)\n"
         "  --no-telemetry       disable the telemetry side channel (run/\n"
         "                       demo; results are bit-identical either\n"
         "                       way — telemetry only adds stage timers,\n"
@@ -112,7 +116,7 @@ usage(const char* argv0)
         "                       multiply candidate noise p by f — a\n"
         "                       deliberate fault the referee must flag\n"
         "                       (power calibration; default 1.0 = off)\n",
-        argv0, known_backend_names().c_str());
+        argv0, known_backend_names().c_str(), kMaxBatchWords);
     return 2;
 }
 
@@ -121,6 +125,7 @@ struct Args {
     std::string spec_path;
     std::string out_dir = "campaign_out";
     std::string backend;  ///< empty = use the spec's backend
+    int batch_words = 0;  ///< 0 = use the spec's batch width
     int shard = -1;
     int n_shards = 1;
     int threads = 0;
@@ -164,6 +169,13 @@ parse_args(int argc, char** argv)
         } else if (arg == "--backend") {
             a.backend = need_value("--backend");
             backend_from_name(a.backend);  // validate early
+        } else if (arg == "--batch-words") {
+            a.batch_words = std::stoi(need_value("--batch-words"));
+            if (a.batch_words < 1 || a.batch_words > kMaxBatchWords)
+                throw std::runtime_error(
+                    "--batch-words wants 1.." +
+                    std::to_string(kMaxBatchWords) + ", got " +
+                    std::to_string(a.batch_words));
         } else if (arg == "--shards") {
             a.n_shards = std::stoi(need_value("--shards"));
         } else if (arg == "--shard") {
@@ -210,10 +222,13 @@ load_spec(const Args& a)
                                  a.command + "'");
     CampaignSpec spec = CampaignSpec::from_json(
         io::Json::parse(io::read_file(a.spec_path)));
-    // A --backend override rewrites every job's config (and hash), so
-    // run/merge/report agree as long as they get the same flag.
+    // A --backend / --batch-words override rewrites every job's config
+    // (and hash), so run/merge/report agree as long as they get the same
+    // flags.
     if (!a.backend.empty())
         spec.backend = backend_from_name(a.backend);
+    if (a.batch_words > 0)
+        spec.batch_words = a.batch_words;
     return spec;
 }
 
@@ -432,6 +447,13 @@ cmd_demo(const Args& a)
         spec.backend = backend_from_name(a.backend);
     else
         spec.backend = backend_from_env();
+    // Same self-contained-spec reasoning for the batch width: the demo
+    // may take it from GLD_BATCH_WORDS so the CI matrix can exercise
+    // K>1 blocks end-to-end without touching any spec file.
+    if (a.batch_words > 0)
+        spec.batch_words = a.batch_words;
+    else
+        spec.batch_words = batch_words_from_env();
 
     const int n_shards = 3;
     io::make_dirs(a.out_dir);
@@ -519,6 +541,11 @@ cmd_verify(const Args& a)
     // The grid's own backend field is ignored on purpose: the arms are
     // defined by --reference/--candidates, never by the spec or
     // GLD_BACKEND (an env override could silently relabel an arm).
+    // --batch-words DOES apply: the batch width is shared by every arm
+    // (it sets the common scheduler block size), so refereeing at K>1 is
+    // exactly the bit-identity claim the K-word refactor must defend.
+    if (a.batch_words > 0)
+        grid.batch_words = a.batch_words;
 
     campaign::VerifyOptions opt;
     opt.reference = backend_from_name(a.reference);

@@ -144,6 +144,8 @@ BENCHMARK(BM_BackendThroughput)
     ->Args({static_cast<int>(SimBackend::kTableau), 1, 1})
     ->Args({static_cast<int>(SimBackend::kBatchTableau), 1, 1})
     ->Args({static_cast<int>(SimBackend::kBatchTableau), 4, 1})
+    ->Args({static_cast<int>(SimBackend::kBatchTableau), 1, 8})
+    ->Args({static_cast<int>(SimBackend::kBatchTableau), 4, 8})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

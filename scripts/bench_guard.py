@@ -6,6 +6,13 @@ Compares the two most recent records of BENCH_backend_throughput.json
 ``::warning::`` annotation for every backend whose single-thread
 shots/second dropped by more than the threshold (default 20%).
 
+Additionally checks the thread-scaling gate WITHIN the latest record
+(same host, same build, so no cross-host caveat applies): for every
+backend carrying a multi-thread point, its best multi-thread rate must
+beat its own best single-thread rate — a speedup <= 1.0 means the
+scheduler is burning threads to go slower, the exact pathology the
+persistent worker pool exists to prevent.
+
 Deliberately NON-FATAL: microbenchmark numbers are machine-dependent
 (records carry num_cpus so foreign-host comparisons are obvious) and a
 red CI lane for a noisy 20% would teach people to ignore it.  The guard
@@ -18,6 +25,31 @@ Usage: scripts/bench_guard.py [trajectory.json] [--threshold 0.20]
 import argparse
 import json
 import sys
+
+
+def check_scaling(record) -> None:
+    """Warn when a backend's best multi-thread point in `record` fails to
+    beat its own best single-thread point.  Older records predate the
+    multi_thread section — silently nothing to check then."""
+    rev = record.get("git_rev", "?")
+    single = record.get("shots_per_second", {})
+    multi = record.get("multi_thread", {})
+    for backend in sorted(multi):
+        if backend not in single or float(single[backend]) <= 0:
+            continue
+        m = multi[backend]
+        speedup = float(m["shots_per_second"]) / float(single[backend])
+        eff = speedup / m["threads"] if m.get("threads") else 0.0
+        print(f"bench guard: {backend:14s} scaling x{speedup:.2f} at "
+              f"{m.get('threads', '?')} threads "
+              f"(efficiency {eff * 100:.0f}%)")
+        if speedup <= 1.0:
+            print(f"::warning::bench guard: {backend} at "
+                  f"{m.get('threads', '?')} threads is no faster than "
+                  f"single-threaded in {rev} "
+                  f"({float(m['shots_per_second']):,.0f} vs "
+                  f"{float(single[backend]):,.0f} shots/s) — thread "
+                  "scaling gate failed")
 
 
 def main() -> int:
@@ -36,9 +68,18 @@ def main() -> int:
         print(f"::warning::bench guard: cannot read {args.trajectory}: {e}")
         return 0
 
-    if not isinstance(history, list) or len(history) < 2:
+    if not isinstance(history, list) or not history:
+        print(f"bench guard: no records in {args.trajectory}; "
+              "nothing to check")
+        return 0
+
+    # Thread-scaling gate: within the LATEST record only, so it applies
+    # even on a fresh host with no comparable prior record.
+    check_scaling(history[-1])
+
+    if len(history) < 2:
         print(f"bench guard: fewer than two records in {args.trajectory}; "
-              "nothing to compare")
+              "no trajectory to compare")
         return 0
 
     prev, cur = history[-2], history[-1]

@@ -12,7 +12,8 @@
 #
 # Each record: {git_rev, date, num_cpus, threads, min_time_s,
 # shots_per_second: {frame: ..., batch_frame: ..., ...},
-# chosen_batch_words, batch_width_sweep, multi_thread, stage_frac}.
+# chosen_batch_words, batch_width_sweep, multi_thread, scaling,
+# stage_frac}.
 #
 #  - shots_per_second is each backend's BEST single-thread rate across
 #    the swept batch widths K (K*64 lanes per scheduler block) — the
@@ -22,6 +23,11 @@
 #  - multi_thread records the best multi-threaded point per backend
 #    (threads + batch width + shots/s) so scheduler scaling is part of
 #    the committed trajectory too.
+#  - scaling records, per backend with a multi-thread row, the speedup
+#    of its best multi-thread point over its best single-thread point
+#    and the parallel efficiency (speedup / threads) — the number the
+#    thread-scaling gate (scripts/bench_guard.py) watches: speedup < 1
+#    means threads made the backend SLOWER.
 #  - stage_frac comes from the telemetry side channel riding along the
 #    benchmark (src/telemetry/) at the chosen K — where the wall time
 #    went, not just how much of it there was.
@@ -88,6 +94,7 @@ EXPECTED = [
     "batch_frame", "batch_frame@w2", "batch_frame@w4", "batch_frame@w8",
     "batch_frame@t8", "batch_frame@w4@t8", "batch_frame@w8@t8",
     "tableau", "batch_tableau", "batch_tableau@w4",
+    "batch_tableau@t8", "batch_tableau@w4@t8",
 ]
 missing = [l for l in EXPECTED if l not in results]
 if missing:
@@ -130,6 +137,20 @@ for label, b in sorted(results.items()):
                 "shots_per_second": round(sps, 1),
             }
 
+# Thread-scaling summary: how much the best multi-thread point buys over
+# the same record's best single-thread point (same host, same build —
+# no cross-record comparison).  speedup < 1.0 is the pathology this
+# PR's pool removed: threads making the backend slower.
+scaling = {}
+for backend, multi in sorted(best_multi.items()):
+    single_sps = best_single[backend][1]
+    speedup = multi["shots_per_second"] / single_sps
+    scaling[backend] = {
+        "threads": multi["threads"],
+        "speedup": round(speedup, 3),
+        "efficiency": round(speedup / multi["threads"], 3),
+    }
+
 # Telemetry stage split at each backend's chosen K: fraction of worker
 # wall time in sim / policy / decode / accounting (frac_* counters).
 stage_frac = {}
@@ -164,6 +185,7 @@ record = {
     },
     "batch_width_sweep": sweep,
     "multi_thread": best_multi,
+    "scaling": scaling,
     "stage_frac": stage_frac,
 }
 

@@ -645,16 +645,17 @@ run_shard(const CampaignSpec& spec, int shard, int n_shards,
             static_cast<int64_t>(jobs.size()),
             plan.shard_shots[static_cast<size_t>(shard)]);
 
-    // Split the auto thread budget across job workers: -j N with
-    // --threads unset must not oversubscribe N x hardware_concurrency.
-    // (expand() guarantees >= 1 job; the outer max(1, ...) keeps the
-    // budget division safe regardless.)
+    // Job workers and each job's runner loop all execute on the ONE
+    // process-wide persistent pool (util/thread_pool.h), whose size is
+    // the BenchConfig::threads() budget — so -j N with --threads unset
+    // cannot oversubscribe no matter how the loops nest, and each job
+    // may claim the FULL budget (idle pool workers help whichever job's
+    // loop is live, instead of being statically fenced off by the old
+    // budget division, which still oversubscribed via nested spawns).
     const int pool_size = std::max(
         1, std::min<int>(std::max(1, jobs_parallel),
                          static_cast<int>(jobs.size())));
-    const int job_threads =
-        threads > 0 ? threads
-                    : std::max(1, BenchConfig::threads() / pool_size);
+    const int job_threads = threads > 0 ? threads : BenchConfig::threads();
 
     const auto run_one_job = [&](const JobSpec& job) {
         const std::vector<int>& streams =

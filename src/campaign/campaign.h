@@ -293,12 +293,16 @@ struct RunShardOptions {
  * matching config hash and shard geometry is skipped; a stale file (hash
  * or geometry mismatch, or unparseable) is recomputed and overwritten.
  *
- * `threads` caps worker threads per job (0 = hardware concurrency,
- * divided by the job-pool width so -j never oversubscribes N x cores).
- * `jobs_parallel` runs that many jobs concurrently (each with its own
- * `threads`-wide pool): jobs are independent — separate codes, runners
- * and result files — so a job-level pool layers cleanly on top of the
- * per-job scheduler for grids of many small jobs.  1 = the serial loop.
+ * `threads` caps worker threads per job (0 = the full
+ * BenchConfig::threads() budget).  Job workers AND every job's runner
+ * loop execute on the one process-wide persistent pool
+ * (util/thread_pool.h), so total OS-thread concurrency never exceeds
+ * the budget however `jobs_parallel` and `threads` combine — idle pool
+ * workers drift to whichever job's loop is live instead of being
+ * statically divided.  `jobs_parallel` runs that many jobs concurrently:
+ * jobs are independent — separate codes, runners and result files — so
+ * a job-level pool layers cleanly on top of the per-job scheduler for
+ * grids of many small jobs.  1 = the serial loop.
  *
  * With `opt.telemetry` (the default), each executed job also writes a
  * telemetry JSON beside its result file, and the shard appends heartbeat

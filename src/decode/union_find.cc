@@ -16,7 +16,13 @@ UnionFindDecoder::UnionFindDecoder(const DecodingGraph& graph)
     boundary_.resize(n);
     in_cluster_.resize(n);
     frontier_.resize(n);
-    edge_added_.resize(graph.edges().size());
+    edge_added_.assign(graph.edges().size(), 0);
+    // Virtual boundary node id = n, so the forest arrays span n + 1.
+    adj_.resize(static_cast<size_t>(n) + 1);
+    visited_.assign(static_cast<size_t>(n) + 1, 0);
+    parent_edge_.assign(static_cast<size_t>(n) + 1, -1);
+    parent_node_.assign(static_cast<size_t>(n) + 1, -1);
+    defect_.resize(static_cast<size_t>(n) + 1);
 }
 
 int
@@ -46,8 +52,31 @@ UnionFindDecoder::unite(int a, int b)
         frontier_[a].swap(frontier_[b]);
     frontier_[a].insert(frontier_[a].end(), frontier_[b].begin(),
                         frontier_[b].end());
+    // clear() only — the absorbed root's capacity stays in the arena for
+    // the next decode (the old shrink_to_fit was an allocator round trip
+    // per merge).
     frontier_[b].clear();
-    frontier_[b].shrink_to_fit();
+}
+
+void
+UnionFindDecoder::bfs(int root)
+{
+    visited_[root] = 1;
+    queue_.clear();
+    queue_.push_back(root);
+    size_t head = 0;
+    while (head < queue_.size()) {
+        const int v = queue_[head++];
+        order_.push_back(v);
+        for (const auto& [w, e] : adj_[v]) {
+            if (!visited_[w]) {
+                visited_[w] = 1;
+                parent_edge_[w] = e;
+                parent_node_[w] = v;
+                queue_.push_back(w);
+            }
+        }
+    }
 }
 
 bool
@@ -58,7 +87,24 @@ UnionFindDecoder::decode(const std::vector<uint8_t>& syndrome)
     const int n = graph_->n_nodes();
     assert(static_cast<int>(syndrome.size()) == n);
 
-    std::vector<int> defects;
+    // Quiet-syndrome fast path: no defects means no clusters, an empty
+    // peeling forest and a false return — the full pass below computes
+    // exactly that, at O(n) initialization cost.  Quiet shots dominate
+    // at the paper's physical error rates, so this one scan is most of
+    // the decoder's steady-state cost.
+    bool quiet = true;
+    for (int v = 0; v < n; ++v) {
+        if (syndrome[v] != 0) {
+            quiet = false;
+            break;
+        }
+    }
+    if (quiet) {
+        residual_ = 0;
+        return false;
+    }
+
+    defects_.clear();
     for (int v = 0; v < n; ++v) {
         parent_[v] = v;
         size_[v] = 1;
@@ -67,18 +113,19 @@ UnionFindDecoder::decode(const std::vector<uint8_t>& syndrome)
         in_cluster_[v] = syndrome[v];
         frontier_[v].clear();
         if (syndrome[v]) {
-            defects.push_back(v);
+            defects_.push_back(v);
             frontier_[v] = incidence[v];
         }
     }
-    std::fill(edge_added_.begin(), edge_added_.end(), 0);
-    std::vector<int> added_edges;
+    // edge_added_ is all-zero here: the previous decode un-set exactly
+    // the entries it set (see the cleanup pass at the end).
+    added_edges_.clear();
 
     // --- Growth. ---
-    std::vector<int> odd = defects;
-    while (!odd.empty()) {
-        std::vector<int> next;
-        for (int r : odd) {
+    odd_ = defects_;
+    while (!odd_.empty()) {
+        next_.clear();
+        for (int r : odd_) {
             r = find(r);
             if (!parity_[r] || boundary_[r])
                 continue;
@@ -89,7 +136,7 @@ UnionFindDecoder::decode(const std::vector<uint8_t>& syndrome)
                     continue;
                 const GraphEdge& ge = edges[e];
                 edge_added_[e] = 1;
-                added_edges.push_back(e);
+                added_edges_.push_back(e);
                 if (ge.v == GraphEdge::kBoundary) {
                     boundary_[find(ge.u)] |= 1;
                     continue;
@@ -104,77 +151,75 @@ UnionFindDecoder::decode(const std::vector<uint8_t>& syndrome)
             }
             const int r2 = find(r);
             if (parity_[r2] && !boundary_[r2])
-                next.push_back(r2);
+                next_.push_back(r2);
         }
-        std::sort(next.begin(), next.end());
-        next.erase(std::unique(next.begin(), next.end()), next.end());
+        std::sort(next_.begin(), next_.end());
+        next_.erase(std::unique(next_.begin(), next_.end()), next_.end());
         // Remove entries that merged into satisfied clusters.
-        std::vector<int> still;
-        for (int r : next) {
+        still_.clear();
+        for (int r : next_) {
             if (find(r) == r && parity_[r] && !boundary_[r])
-                still.push_back(r);
+                still_.push_back(r);
         }
-        odd = std::move(still);
+        odd_.swap(still_);
     }
 
     // --- Peeling over the grown subgraph. ---
-    // Virtual boundary node id = n.
-    std::vector<std::vector<std::pair<int, int>>> adj(n + 1);
-    for (int e : added_edges) {
+    // adj_ / visited_ / parent_edge_ / parent_node_ hold their between-
+    // decode invariants (empty / 0 / -1 / -1) — the cleanup pass below
+    // maintains them, so no O(n + E) re-initialization happens here.
+    for (int e : added_edges_) {
         const GraphEdge& ge = edges[e];
         const int v = ge.v == GraphEdge::kBoundary ? n : ge.v;
-        adj[ge.u].emplace_back(v, e);
-        adj[v].emplace_back(ge.u, e);
+        adj_[ge.u].emplace_back(v, e);
+        adj_[v].emplace_back(ge.u, e);
     }
-    std::vector<uint8_t> visited(n + 1, 0);
-    std::vector<int> order;
-    std::vector<int> parent_edge(n + 1, -1);
-    std::vector<int> parent_node(n + 1, -1);
-    auto bfs = [&](int root) {
-        visited[root] = 1;
-        std::vector<int> queue = {root};
-        size_t head = 0;
-        while (head < queue.size()) {
-            const int v = queue[head++];
-            order.push_back(v);
-            for (const auto& [w, e] : adj[v]) {
-                if (!visited[w]) {
-                    visited[w] = 1;
-                    parent_edge[w] = e;
-                    parent_node[w] = v;
-                    queue.push_back(w);
-                }
-            }
-        }
-    };
+    order_.clear();
     bfs(n);  // clusters touching the boundary root at the boundary
-    for (int e : added_edges) {
+    for (int e : added_edges_) {
         const GraphEdge& ge = edges[e];
-        if (!visited[ge.u])
+        if (!visited_[ge.u])
             bfs(ge.u);
-        if (ge.v != GraphEdge::kBoundary && !visited[ge.v])
+        if (ge.v != GraphEdge::kBoundary && !visited_[ge.v])
             bfs(ge.v);
     }
 
-    std::vector<uint8_t> defect(n + 1, 0);
     for (int v = 0; v < n; ++v)
-        defect[v] = syndrome[v];
+        defect_[v] = syndrome[v];
+    defect_[n] = 0;
     bool logical = false;
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
         const int v = *it;
-        if (v == n || !defect[v])
+        if (v == n || !defect_[v])
             continue;
-        const int e = parent_edge[v];
+        const int e = parent_edge_[v];
         if (e < 0)
             continue;  // unmatched defect (counted as residual below)
-        defect[v] = 0;
-        defect[parent_node[v]] ^= 1;
+        defect_[v] = 0;
+        defect_[parent_node_[v]] ^= 1;
         if (edges[e].logical)
             logical = !logical;
     }
     residual_ = 0;
     for (int v = 0; v < n; ++v)
-        residual_ += defect[v];
+        residual_ += defect_[v];
+
+    // Cleanup: restore the sparse-state invariants by undoing exactly
+    // what this decode touched.  order_ is the full visited set (every
+    // visited node is queued and every queued node is popped into
+    // order_), and the adj_ entries built above live only at added-edge
+    // endpoints.
+    for (int v : order_) {
+        visited_[v] = 0;
+        parent_edge_[v] = -1;
+        parent_node_[v] = -1;
+    }
+    for (int e : added_edges_) {
+        const GraphEdge& ge = edges[e];
+        edge_added_[e] = 0;
+        adj_[ge.u].clear();
+        adj_[ge.v == GraphEdge::kBoundary ? n : ge.v].clear();
+    }
     return logical;
 }
 

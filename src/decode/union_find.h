@@ -17,13 +17,25 @@ namespace gld {
  * Near-matching accuracy at a fraction of MWPM's cost — and the paper's
  * LER comparisons are relative across leakage policies, which this
  * preserves.
+ *
+ * The decoder is an ARENA: every piece of working state is a member
+ * whose capacity persists across decode() calls, so the steady state
+ * (one cached decoder per scheduler worker) allocates nothing per shot.
+ * Sparse structures are lazily cleaned — at the end of a decode exactly
+ * the entries that decode touched are reset (tracked via added_edges_ /
+ * order_), instead of O(edges) / O(nodes) wipes up front.  A decode's
+ * OUTPUT is bit-identical to the pre-arena implementation: the growth
+ * order, the peeling forest and the residual never depend on where the
+ * scratch lives.  Not thread-safe; one instance per thread.
  */
 class UnionFindDecoder {
   public:
     explicit UnionFindDecoder(const DecodingGraph& graph);
 
     /**
-     * Decodes one syndrome (bit per node).
+     * Decodes one syndrome (bit per node).  An all-zero syndrome takes a
+     * fast path (one scan, no state touched) — provably the same answer
+     * (no defects means no growth, an empty forest and a false return).
      * @return the predicted logical-observable flip.
      */
     bool decode(const std::vector<uint8_t>& syndrome);
@@ -34,16 +46,34 @@ class UnionFindDecoder {
   private:
     int find(int v);
     void unite(int a, int b);
+    void bfs(int root);
 
     const DecodingGraph* graph_;
-    // Per-decode state.
+    // Dense per-node union-find state, re-initialized every decode.
     std::vector<int> parent_;
     std::vector<int> size_;
     std::vector<uint8_t> parity_;
     std::vector<uint8_t> boundary_;
     std::vector<uint8_t> in_cluster_;
-    std::vector<uint8_t> edge_added_;
     std::vector<std::vector<int>> frontier_;
+    // Lazily-cleaned sparse state.  Invariants BETWEEN decodes:
+    // edge_added_ all zero (restored via added_edges_), adj_ entries all
+    // empty and visited_/parent_edge_/parent_node_ at 0/-1/-1 (restored
+    // via the touched node set in order_ and the added edge endpoints).
+    std::vector<uint8_t> edge_added_;
+    std::vector<std::vector<std::pair<int, int>>> adj_;
+    std::vector<uint8_t> visited_;
+    std::vector<int> parent_edge_;
+    std::vector<int> parent_node_;
+    // Reused dense/list scratch (contents meaningless between decodes).
+    std::vector<uint8_t> defect_;
+    std::vector<int> defects_;
+    std::vector<int> odd_;
+    std::vector<int> next_;
+    std::vector<int> still_;
+    std::vector<int> added_edges_;
+    std::vector<int> order_;
+    std::vector<int> queue_;
     int residual_ = 0;
 };
 

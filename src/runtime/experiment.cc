@@ -16,6 +16,39 @@
 
 namespace gld {
 
+/**
+ * One executor slot's reusable block state.  Everything a block used to
+ * construct or allocate per (stream, block) lives here instead, owned by
+ * the slot for the whole run_partials loop: the simulator is
+ * reset_for_block()-ed per block, policies are rebuilt never (begin_shot
+ * is the per-shot reset), the decoder keeps its arena, and the scratch
+ * vectors keep their capacity (assign/resize write the same initial
+ * values a fresh vector would hold, so reuse is bit-identical to fresh —
+ * the determinism gate's reuse ≡ fresh arm runs with
+ * cfg.reuse_worker_state = false, which clears this struct per block).
+ * alignas: adjacent slots' vector headers must not share a cache line.
+ */
+struct alignas(64) ExperimentRunner::BlockResources {
+    std::unique_ptr<Simulator> sim;
+    std::vector<std::unique_ptr<Policy>> policies;  ///< scalar path: [0]
+    std::unique_ptr<UnionFindDecoder> decoder;
+
+    // Scalar-path scratch.
+    std::vector<int> sched_stamp;
+    std::vector<uint8_t> syndrome1;
+
+    // Batch-path scratch (mirrors the locals the batch block held).
+    std::vector<LrcSchedule> scheds;
+    std::vector<RoundResult> rr;
+    std::vector<std::vector<uint8_t>> flips;
+    std::vector<LaneMask> sched_word;
+    std::vector<int> data_leaked;
+    std::vector<int> check_leaked;
+    std::vector<std::vector<double>> dlp_buf;
+    std::vector<std::vector<double>> chk_buf;
+    std::vector<std::vector<uint8_t>> syndrome;
+};
+
 ExperimentRunner::ExperimentRunner(const CodeContext& ctx,
                                    const ExperimentConfig& cfg)
     : ctx_(&ctx), cfg_(cfg)
@@ -29,13 +62,15 @@ ExperimentRunner::ExperimentRunner(const CodeContext& ctx,
     if (cfg_.compute_ler) {
         DemBuilder dem(ctx.code(), ctx.rc(), cfg_.np, cfg_.rounds);
         graph_ = std::make_shared<DecodingGraph>(dem.build());
+        z_checks_ = ctx.code().checks_of_type(CheckType::kZ);
     }
 }
 
 Metrics
 ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
                             int block, const DecodingGraph* graph,
-                            telemetry::Record* telem) const
+                            telemetry::Record* telem,
+                            BlockResources* res) const
 {
     const CssCode& code = ctx_->code();
     const int n_data = code.n_data();
@@ -43,6 +78,11 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
     const int total = stream_shots(cfg_, stream);
     const int first = block * shot_block(cfg_);
     const int shots = std::min(shot_block(cfg_), total - first);
+
+    // The reuse ≡ fresh control arm: discarding the slot's cached state
+    // per block reproduces the pre-reuse fresh-construction path exactly.
+    if (!cfg_.reuse_worker_state)
+        *res = BlockResources{};
 
     // Telemetry is a pure side channel: the StageClock and the counters
     // below never draw randomness and never feed a result-bearing sum,
@@ -65,40 +105,52 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
         Rng(cfg_.seed).split(static_cast<uint64_t>(stream))
             .split(static_cast<uint64_t>(block));
     Rng shot_rng = block_master.split(1);
-    std::unique_ptr<Simulator> sim =
-        make_simulator(cfg_.backend, code, ctx_->rc(), cfg_.np,
-                       block_master.split(0).next_u64(), cfg_.batch_words);
+    const uint64_t sim_seed = block_master.split(0).next_u64();
+    // The slot's cached simulator, reset to exactly what a fresh
+    // make_simulator(..., sim_seed, ...) would be — the steady state
+    // allocates nothing here.
+    if (res->sim == nullptr)
+        res->sim = make_simulator(cfg_.backend, code, ctx_->rc(), cfg_.np,
+                                  sim_seed, cfg_.batch_words);
+    else
+        res->sim->reset_for_block(sim_seed);
+    Simulator* sim = res->sim.get();
     const uint64_t policy_seed = block_master.split(2).next_u64();
 
     // A batch-capable backend takes the whole block as one lockstep shot
     // batch (lane k == the scalar path's k-th shot of this block, same
     // derived RNG streams — the Metrics come out bit-identical).
-    if (auto* bsim = dynamic_cast<BatchSimulator*>(sim.get())) {
-        clock.lap(telemetry::kSim);  // batch simulator construction
+    if (auto* bsim = dynamic_cast<BatchSimulator*>(sim)) {
+        clock.lap(telemetry::kSim);  // batch simulator reset/construction
         return run_block_batch(*bsim, factory, policy_seed, shot_rng, shots,
-                               graph, telem);
+                               graph, telem, res);
     }
 
-    clock.lap(telemetry::kSim);  // simulator construction
-    std::unique_ptr<Policy> policy = factory(*ctx_, policy_seed);
-    policy->set_oracle(sim.get());
-    clock.lap(telemetry::kPolicy);  // policy build
+    clock.lap(telemetry::kSim);  // simulator reset/construction
+    // One cached policy per slot (in-tree policies ignore the factory
+    // seed and fully reset in begin_shot — the PolicyFactory contract);
+    // the oracle is rebound every block.
+    if (res->policies.empty())
+        res->policies.push_back(factory(*ctx_, policy_seed));
+    Policy* policy = res->policies.front().get();
+    policy->set_oracle(sim);
+    clock.lap(telemetry::kPolicy);  // policy build/rebind
     // Ground truth for the speculation accounting below: the shared
     // LeakageDriver's flag state, read through the one oracle interface
     // instead of per-call virtual hops on the backend.
     const LeakageOracle& truth = sim->leak_oracle();
 
-    std::unique_ptr<UnionFindDecoder> decoder;
-    std::vector<int> z_checks;
-    if (graph != nullptr) {
-        decoder = std::make_unique<UnionFindDecoder>(*graph);
-        z_checks = code.checks_of_type(CheckType::kZ);
-    }
+    if (graph != nullptr && res->decoder == nullptr)
+        res->decoder = std::make_unique<UnionFindDecoder>(*graph);
+    UnionFindDecoder* decoder = res->decoder.get();
+    const std::vector<int>& z_checks = z_checks_;
     const int nz = static_cast<int>(z_checks.size());
     clock.lap(telemetry::kDecode);  // decoder construction
 
-    std::vector<int> sched_stamp(n_data, -1);
-    std::vector<uint8_t> syndrome;
+    // Same initial values a fresh block's locals held, capacity reused.
+    res->sched_stamp.assign(static_cast<size_t>(n_data), -1);
+    std::vector<int>& sched_stamp = res->sched_stamp;
+    std::vector<uint8_t>& syndrome = res->syndrome1;
 
     for (int shot = 0; shot < shots; ++shot) {
         clock.lap(telemetry::kAccounting);
@@ -209,7 +261,8 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
                                   uint64_t policy_seed, Rng shot_rng,
                                   int shots,
                                   const DecodingGraph* graph,
-                                  telemetry::Record* telem) const
+                                  telemetry::Record* telem,
+                                  BlockResources* res) const
 {
     const CssCode& code = ctx_->code();
     const int n_data = code.n_data();
@@ -230,49 +283,71 @@ ExperimentRunner::run_block_batch(BatchSimulator& sim,
     if (cfg_.record_dlp_series)
         m.dlp_series.assign(static_cast<size_t>(rounds), 0.0);
 
-    // One policy per lane, all built from the block's one policy seed
-    // (exactly the seed the scalar path hands its single policy — current
-    // policies derive no randomness from it, and per-shot behaviour is
-    // reset by begin_shot, so lane k's policy replays the scalar policy's
-    // k-th shot).  Each lane's oracle view shows only that lane's truth.
-    std::vector<std::unique_ptr<Policy>> policies;
+    // One policy per lane, from the slot's cache — the pre-reuse path
+    // built all max_lanes from the block's one policy seed (exactly the
+    // seed the scalar path hands its single policy; in-tree policies
+    // derive no randomness from it, and per-shot behaviour is reset by
+    // begin_shot, so lane k's policy replays the scalar policy's k-th
+    // shot).  The cache only ever GROWS (a partial trailing block needs
+    // fewer lanes than a full one); each lane's oracle view is rebound
+    // per block to show only that lane's truth on this block's simulator.
+    std::vector<std::unique_ptr<Policy>>& policies = res->policies;
     policies.reserve(static_cast<size_t>(max_lanes));
-    for (int l = 0; l < max_lanes; ++l) {
+    while (static_cast<int>(policies.size()) < max_lanes)
         policies.push_back(factory(*ctx_, policy_seed));
-        policies.back()->set_leak_oracle(&sim.lane_oracle(l));
-    }
-    clock.lap(telemetry::kPolicy);  // per-lane policy builds
+    for (int l = 0; l < max_lanes; ++l)
+        policies[static_cast<size_t>(l)]->set_leak_oracle(
+            &sim.lane_oracle(l));
+    clock.lap(telemetry::kPolicy);  // per-lane policy builds/rebinds
 
-    std::unique_ptr<UnionFindDecoder> decoder;
-    std::vector<int> z_checks;
-    if (graph != nullptr) {
-        decoder = std::make_unique<UnionFindDecoder>(*graph);
-        z_checks = code.checks_of_type(CheckType::kZ);
-    }
+    if (graph != nullptr && res->decoder == nullptr)
+        res->decoder = std::make_unique<UnionFindDecoder>(*graph);
+    UnionFindDecoder* decoder = res->decoder.get();
+    const std::vector<int>& z_checks = z_checks_;
     const int nz = static_cast<int>(z_checks.size());
     clock.lap(telemetry::kDecode);  // decoder construction
 
-    std::vector<LrcSchedule> scheds(static_cast<size_t>(max_lanes));
-    std::vector<RoundResult> rr;
-    std::vector<std::vector<uint8_t>> flips;
+    // Per-block scratch out of the slot's cache: resize() writes the
+    // same sizes a fresh block's locals had, every element below is
+    // written before it is read (scheds are cleared per batch, the word/
+    // count scratch is zero-filled per round, the buffers per (lane,
+    // round) cell per round), so stale content from the previous block
+    // is never observable — reuse stays bit-identical to fresh.
+    std::vector<LrcSchedule>& scheds = res->scheds;
+    if (static_cast<int>(scheds.size()) < max_lanes)
+        scheds.resize(static_cast<size_t>(max_lanes));
+    std::vector<RoundResult>& rr = res->rr;
+    std::vector<std::vector<uint8_t>>& flips = res->flips;
     // Word-wide accounting scratch: which lanes scheduled an LRC on each
     // data qubit this round (the FN check is then one popcount per
     // qubit word), and per-lane leak counts gathered by one sparse pass
     // over the leak words instead of 64*K oracle walks.  Spans of W
     // words per qubit, same layout as the simulator's leaked_words().
-    std::vector<LaneMask> sched_word(
+    std::vector<LaneMask>& sched_word = res->sched_word;
+    sched_word.assign(
         static_cast<size_t>(n_data) * static_cast<size_t>(W), 0);
-    std::vector<int> data_leaked(static_cast<size_t>(max_lanes), 0);
-    std::vector<int> check_leaked(static_cast<size_t>(max_lanes), 0);
+    std::vector<int>& data_leaked = res->data_leaked;
+    std::vector<int>& check_leaked = res->check_leaked;
+    data_leaked.assign(static_cast<size_t>(max_lanes), 0);
+    check_leaked.assign(static_cast<size_t>(max_lanes), 0);
     // Float accumulators are buffered per (lane, round) and replayed
     // shot-major below: double addition is order-sensitive, and the gate
     // vs the scalar backend is BIT-exact equality, not approximation.
-    std::vector<std::vector<double>> dlp_buf(
-        static_cast<size_t>(max_lanes),
-        std::vector<double>(static_cast<size_t>(rounds), 0.0));
-    std::vector<std::vector<double>> chk_buf = dlp_buf;
-    std::vector<std::vector<uint8_t>> syndrome(
-        static_cast<size_t>(max_lanes));
+    std::vector<std::vector<double>>& dlp_buf = res->dlp_buf;
+    std::vector<std::vector<double>>& chk_buf = res->chk_buf;
+    if (static_cast<int>(dlp_buf.size()) < max_lanes) {
+        dlp_buf.resize(static_cast<size_t>(max_lanes));
+        chk_buf.resize(static_cast<size_t>(max_lanes));
+    }
+    for (int l = 0; l < max_lanes; ++l) {
+        dlp_buf[static_cast<size_t>(l)].resize(
+            static_cast<size_t>(rounds));
+        chk_buf[static_cast<size_t>(l)].resize(
+            static_cast<size_t>(rounds));
+    }
+    std::vector<std::vector<uint8_t>>& syndrome = res->syndrome;
+    if (static_cast<int>(syndrome.size()) < max_lanes)
+        syndrome.resize(static_cast<size_t>(max_lanes));
 
     for (int first = 0; first < shots; first += width) {
         const int lanes = std::min(width, shots - first);
@@ -550,20 +625,36 @@ ExperimentRunner::run_partials(const PolicyFactory& factory,
     const int n_data = ctx_->code().n_data();
     const int n_checks = ctx_->code().n_checks();
 
-    std::vector<Metrics> unit_parts(units.size());
-    parallel_for_dynamic(units.size(), cfg_.threads, [&](size_t u) {
+    // Result slot per unit, padded to a cache line: adjacent units
+    // finish on different threads back to back, and unpadded Metrics
+    // writes would false-share lines across workers at exactly the
+    // moment every worker is storing.
+    struct alignas(64) PaddedMetrics {
+        Metrics m;
+    };
+    std::vector<PaddedMetrics> unit_parts(units.size());
+
+    // One reusable resource set per executor slot (simulator, policies,
+    // decoder, scratch): a slot runs many units but only ever one at a
+    // time, so its caches are single-threaded by construction.
+    std::vector<BlockResources> slot_res(
+        parallel_width(units.size(), cfg_.threads));
+    parallel_for_slots(units.size(), cfg_.threads, [&](size_t u, int slot) {
+        BlockResources* res = &slot_res[static_cast<size_t>(slot)];
         if (collector != nullptr) {
             telemetry::Record rec;
             rec.leak_hist.assign(static_cast<size_t>(n_data) + 1, 0);
             if (collector->heatmap())
                 rec.heatmap.init(cfg_.rounds, n_data, n_checks);
-            unit_parts[u] = run_block(factory, units[u].stream,
-                                      units[u].block, graph_.get(), &rec);
+            unit_parts[u].m = run_block(factory, units[u].stream,
+                                        units[u].block, graph_.get(), &rec,
+                                        res);
             collector->record_unit(units[u].stream, units[u].block,
                                    std::move(rec));
         } else {
-            unit_parts[u] = run_block(factory, units[u].stream,
-                                      units[u].block, graph_.get(), nullptr);
+            unit_parts[u].m = run_block(factory, units[u].stream,
+                                        units[u].block, graph_.get(),
+                                        nullptr, res);
         }
     });
 
@@ -574,10 +665,10 @@ ExperimentRunner::run_partials(const PolicyFactory& factory,
     for (size_t u = 0; u < units.size(); ++u) {
         const size_t i = units[u].request;
         if (!seeded[i]) {
-            parts[i] = std::move(unit_parts[u]);
+            parts[i] = std::move(unit_parts[u].m);
             seeded[i] = 1;
         } else {
-            parts[i].merge(unit_parts[u]);
+            parts[i].merge(unit_parts[u].m);
         }
     }
     return parts;

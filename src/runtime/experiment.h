@@ -58,10 +58,30 @@ struct ExperimentConfig {
      * config hash byte for byte.
      */
     int batch_words = 1;
+    /**
+     * Reuse per-worker simulator/policy/decoder state across (stream,
+     * block) work units (the zero-allocation steady state) instead of
+     * reconstructing per block.  NEVER result-affecting: a reused
+     * simulator is reset_for_block()-ed with exactly the seed a fresh
+     * construction would get, so Metrics are bit-identical either way
+     * (the reuse ≡ fresh determinism gate pins this per backend, K and
+     * thread count).  Not serialized and not config-hashed, like
+     * `threads`.  The `false` arm exists for that gate and for
+     * allocation-sensitivity triage.
+     */
+    bool reuse_worker_state = true;
 };
 
-/** Builds a fresh policy; called once per (RNG stream, shot block) work
- *  unit — never per thread, so the build count is schedule-independent. */
+/**
+ * Builds a policy.  The runner calls it lazily — once per (executor
+ * slot, config) when worker-state reuse is on, once per (RNG stream,
+ * shot block) work unit with reuse off — and reuses the instance across
+ * blocks, with begin_shot() as the per-shot reset point.  A policy must
+ * therefore not carry state across shots except through observe/
+ * begin_shot, and must not derive result-affecting state from `seed`
+ * (every in-tree policy ignores it); that is what keeps the build count
+ * schedule-irrelevant.
+ */
 using PolicyFactory = std::function<std::unique_ptr<Policy>(
     const CodeContext& ctx, uint64_t seed)>;
 
@@ -148,18 +168,28 @@ class ExperimentRunner {
     void set_telemetry(telemetry::Collector* col) { telemetry_ = col; }
 
   private:
+    /**
+     * One executor slot's reusable block state — simulator, policies,
+     * decoder and all per-block scratch (defined in experiment.cc).
+     * Each slot of a run_partials call owns one instance; a worker
+     * resets the cached objects per block instead of reconstructing.
+     */
+    struct BlockResources;
+
     Metrics run_block(const PolicyFactory& factory, int stream, int block,
-                      const DecodingGraph* graph,
-                      telemetry::Record* telem) const;
+                      const DecodingGraph* graph, telemetry::Record* telem,
+                      BlockResources* res) const;
     Metrics run_block_batch(class BatchSimulator& sim,
                             const PolicyFactory& factory,
                             uint64_t policy_seed, Rng shot_rng, int shots,
                             const DecodingGraph* graph,
-                            telemetry::Record* telem) const;
+                            telemetry::Record* telem,
+                            BlockResources* res) const;
 
     const CodeContext* ctx_;
     ExperimentConfig cfg_;
     std::shared_ptr<DecodingGraph> graph_;  ///< built once if compute_ler
+    std::vector<int> z_checks_;  ///< Z-check ids, built if compute_ler
     telemetry::Collector* telemetry_ = nullptr;  ///< optional side channel
 };
 

@@ -412,6 +412,32 @@ BatchLeakageDriver::reset_shot_batch(int n_lanes)
     state_->reset_state();
 }
 
+void
+BatchLeakageDriver::reset_for_block(Rng master)
+{
+    // Mirror of the constructor's tail under the new master — all lanes
+    // seeded with split(0), lane 0 active, shot counter 0 — plus
+    // explicit scrubbing of everything a previous block may have left:
+    // flags, history, the per-check scratch spans (a fresh driver's are
+    // zero-initialized), and the backend state.
+    master_rng_ = master;
+    shots_started_ = 0;
+    std::fill(leaked_.begin(), leaked_.end(), 0);
+    std::fill(prev_meas_.begin(), prev_meas_.end(), 0);
+    std::fill(meas_flip_.begin(), meas_flip_.end(), 0);
+    std::fill(mlr_flag_.begin(), mlr_flag_.end(), 0);
+    std::fill(det_scratch_.begin(), det_scratch_.end(), 0);
+    first_round_ = true;
+    const int max_lanes = words_ * kBatchLanes;
+    for (int l = 0; l < max_lanes; ++l)
+        lane_rng_.seed_lane(l, master_rng_.split(0));
+    for (int w = 0; w < words_; ++w)
+        active_[w] = 0;
+    active_[0] = 1;
+    n_lanes_ = 1;
+    state_->reset_state();
+}
+
 template <int WT>
 __attribute__((always_inline)) inline void
 BatchLeakageDriver::set_leak_t(int q, const LaneMask* lanes)

@@ -512,6 +512,17 @@ class BatchLeakageDriver final {
      */
     void reset_shot_batch(int n_lanes);
 
+    /**
+     * Restores the driver to its just-constructed state under a NEW
+     * master stream: flags/history/scratch cleared, the shot counter
+     * rewound to 0, every lane reseeded with master.split(0) and lane 0
+     * active (the post-construction probing state), and the backend
+     * state re-initialized.  The simulator-reuse path resets a cached
+     * driver per scheduler block with the block's own master, making
+     * reuse bit-identical to fresh construction at every K.
+     */
+    void reset_for_block(Rng master);
+
     /** Words per lane span (the K of this driver). */
     int n_words() const { return words_; }
     /** Lanes currently active (padding excluded), n_words() words. */
@@ -797,6 +808,18 @@ class BatchLeakageDriverSim : public BatchSimulator,
         std::vector<std::vector<uint8_t>>* out) final
     {
         driver_.final_data_measure_batch(out);
+    }
+
+    /**
+     * Default reuse reset for batch backends whose only randomness is
+     * the driver's lane streams (batch_frame): fresh construction
+     * passes Rng(seed) as the driver master, so resetting the driver
+     * with Rng(seed) reproduces it exactly.  batch_tableau overrides to
+     * also reseed its per-lane projection streams.
+     */
+    void reset_for_block(uint64_t seed) override
+    {
+        driver_.reset_for_block(Rng(seed));
     }
 
     // --- Scalar Simulator API: lane 0 of a one-lane batch. ---

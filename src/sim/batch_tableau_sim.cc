@@ -22,6 +22,18 @@ BatchTableauSim::BatchTableauSim(const CssCode& code, const RoundCircuit& rc,
 }
 
 void
+BatchTableauSim::reset_for_block(uint64_t seed)
+{
+    // Driver first (its reset_state pass re-identities the tableaux but
+    // keeps their streams), then reseed each lane's projection stream —
+    // after both, every lane is exactly a fresh construction's.
+    driver_.reset_for_block(Rng(Rng(seed).split(0).next_u64()));
+    Rng tab_master = Rng(seed).split(1);
+    for (size_t l = 0; l < tabs_.size(); ++l)
+        tabs_[l].reseed(tab_master.split(static_cast<uint64_t>(l)).next_u64());
+}
+
+void
 BatchTableauSim::reset_state()
 {
     // reset_all keeps each lane's projection stream running (scalar

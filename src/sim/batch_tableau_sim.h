@@ -44,6 +44,11 @@ class BatchTableauSim final : public BatchLeakageDriverSim {
 
     std::string name() const override { return "batch_tableau"; }
 
+    /** Reuse reset: re-derive the driver master from split(0) and every
+     *  lane's projection stream from per-lane splits under split(1),
+     *  exactly the constructor's derivation. */
+    void reset_for_block(uint64_t seed) override;
+
     /** Lane l's tableau (tests: stabilizer-group assertions). */
     TableauSim& tableau(int lane)
     {

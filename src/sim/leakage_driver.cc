@@ -37,6 +37,22 @@ LeakageDriver::reset_shot()
 }
 
 void
+LeakageDriver::reset_for_block(Rng noise_rng)
+{
+    // Mirror of the constructor's RNG state (master + split(0) current
+    // stream, shot counter 0) plus an explicit backend-state reset — a
+    // fresh driver gets a fresh backend for free, a reused one must
+    // scrub whatever the previous block left.
+    master_rng_ = noise_rng;
+    rng_ = master_rng_.split(0);
+    shot_index_ = 0;
+    std::fill(leaked_.begin(), leaked_.end(), 0);
+    std::fill(prev_meas_.begin(), prev_meas_.end(), 0);
+    first_round_ = true;
+    state_->reset_state();
+}
+
+void
 LeakageDriver::set_leak(int q)
 {
     if (leaked_[static_cast<size_t>(q)])

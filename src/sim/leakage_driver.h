@@ -126,6 +126,17 @@ class LeakageDriver final : public LeakageOracle {
      */
     void reset_shot();
 
+    /**
+     * Restores the driver to its just-constructed state under a NEW
+     * master stream: flags/history cleared, the shot counter rewound to
+     * 0, the current stream re-derived as noise_rng.split(0) (exactly
+     * the post-construction state), and the backend state
+     * re-initialized.  The simulator-reuse path resets a cached driver
+     * per scheduler block with the block's own master, making reuse
+     * bit-identical to fresh construction.
+     */
+    void reset_for_block(Rng noise_rng);
+
     /** Raises qubit q's leak flag (fires park_leaked on 0 -> 1). */
     void set_leak(int q);
     /** Raises the leak flag of check c's ancilla. */
@@ -202,6 +213,18 @@ class LeakageDriver final : public LeakageOracle {
 class LeakageDriverSim : public Simulator, protected StatePrimitives {
   public:
     void reset_shot() final { driver_.reset_shot(); }
+    /**
+     * Default reuse reset for backends whose only randomness is the
+     * driver's (the frame backend): fresh construction passes Rng(seed)
+     * as the driver master, so resetting the driver with Rng(seed)
+     * reproduces it exactly.  A backend with private randomness
+     * (tableau projections) overrides this to re-derive BOTH streams
+     * from the seed, mirroring its constructor.
+     */
+    void reset_for_block(uint64_t seed) override
+    {
+        driver_.reset_for_block(Rng(seed));
+    }
     void inject_data_leak(int q) final { driver_.set_leak(q); }
     void inject_check_leak(int c) final { driver_.set_check_leak(c); }
     void inject_x(int q) final { apply_pauli(q, kPauliX); }

@@ -103,6 +103,19 @@ class Simulator {
     /** Clears all per-shot state for a new shot. */
     virtual void reset_shot() = 0;
 
+    /**
+     * Re-seeds and fully resets this simulator so everything it does from
+     * here on is BIT-identical to a freshly constructed
+     * make_simulator(backend, code, rc, np, seed, batch_words) with the
+     * same shape arguments (code/circuit/noise/batch_words) and this
+     * seed.  This is the per-worker reuse hook of the scheduler's
+     * zero-allocation steady state: a worker keeps one simulator per
+     * config shape and resets it per (stream, block) instead of
+     * reconstructing — no observable difference is permitted (the
+     * reuse ≡ fresh determinism gate pins this per backend).
+     */
+    virtual void reset_for_block(uint64_t seed) = 0;
+
     /** Forces a data qubit into the leaked state (leakage sampling, §6). */
     virtual void inject_data_leak(int q) = 0;
     /** Forces an ancilla (by check index) into the leaked state. */

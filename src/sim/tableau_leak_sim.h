@@ -47,6 +47,15 @@ class TableauLeakSim final : public LeakageDriverSim {
 
     std::string name() const override { return "tableau"; }
 
+    /** Reuse reset: re-derive BOTH streams exactly as the constructor
+     *  does — driver master from split(0), tableau projection stream
+     *  from split(1) — so a reused instance replays a fresh one. */
+    void reset_for_block(uint64_t seed) override
+    {
+        driver_.reset_for_block(Rng(Rng(seed).split(0).next_u64()));
+        tab_.reseed(Rng(seed).split(1).next_u64());
+    }
+
     /** The underlying tableau (tests: stabilizer-group assertions). */
     TableauSim& tableau() { return tab_; }
 

@@ -32,6 +32,19 @@ class TableauSim {
      */
     void reset_all();
 
+    /**
+     * Restores the exact just-constructed state: identity tableau AND
+     * the projection stream rewound to Rng(seed).  The simulator-reuse
+     * path needs this — reset_all alone keeps the stream running, which
+     * is right between shots but wrong between scheduler blocks (a
+     * reused tableau would diverge from a freshly built one).
+     */
+    void reseed(uint64_t seed)
+    {
+        rng_ = Rng(seed);
+        reset_all();
+    }
+
     void h(int q);
     void s(int q);
     void cnot(int control, int target);

@@ -1,11 +1,6 @@
 #include "util/parallel.h"
 
-#include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "util/thread_pool.h"
 
 namespace gld {
 
@@ -13,49 +8,15 @@ void
 parallel_for_dynamic(size_t n, int threads,
                      const std::function<void(size_t)>& fn)
 {
-    const size_t width =
-        std::min(n, static_cast<size_t>(std::max(1, threads)));
-    if (width <= 1) {
-        for (size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
-    }
+    ThreadPool::instance().run(
+        n, threads, [&fn](size_t i, int /*slot*/) { fn(i); });
+}
 
-    std::atomic<size_t> cursor{0};
-    std::exception_ptr first_error;
-    std::mutex error_mu;
-    std::vector<std::thread> pool;
-    pool.reserve(width);
-    const auto worker = [&]() {
-        try {
-            for (size_t i = cursor.fetch_add(1); i < n;
-                 i = cursor.fetch_add(1))
-                fn(i);
-        } catch (...) {
-            {
-                std::lock_guard<std::mutex> lock(error_mu);
-                if (first_error == nullptr)
-                    first_error = std::current_exception();
-            }
-            cursor.store(n);  // stop siblings from starting new work
-        }
-    };
-    try {
-        for (size_t t = 0; t < width; ++t)
-            pool.emplace_back(worker);
-    } catch (...) {
-        // Thread spawn failed (resource limits): the already-running
-        // workers drain whatever the cursor hands them; stop new work,
-        // join them, and report the spawn failure — never terminate().
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error == nullptr)
-            first_error = std::current_exception();
-        cursor.store(n);
-    }
-    for (auto& th : pool)
-        th.join();
-    if (first_error != nullptr)
-        std::rethrow_exception(first_error);
+void
+parallel_for_slots(size_t n, int threads,
+                   const std::function<void(size_t, int)>& fn)
+{
+    ThreadPool::instance().run(n, threads, fn);
 }
 
 }  // namespace gld

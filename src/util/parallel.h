@@ -7,20 +7,49 @@
 namespace gld {
 
 /**
- * Runs fn(0), ..., fn(n-1) across up to `threads` workers pulling indices
- * off a shared atomic cursor (dynamic scheduling — the shape both the
- * experiment scheduler's work-unit queue and the campaign job pool need).
+ * Runs fn(0), ..., fn(n-1) across up to `threads` executors pulling index
+ * chunks off a shared atomic cursor (dynamic scheduling — the shape both
+ * the experiment scheduler's work-unit queue and the campaign job pool
+ * need).  Executors are the CALLING thread plus workers borrowed from the
+ * process-wide persistent pool (util/thread_pool.h), so nothing is
+ * spawned per call and nested calls — campaign jobs running the runner's
+ * own parallel loop — share one global thread budget instead of
+ * multiplying it.
  *
  * threads <= 1 (or n <= 1) runs inline on the calling thread.  The first
  * exception any fn throws is captured and rethrown on the calling thread
- * after all workers join (remaining indices are abandoned); an exception
- * can therefore never escape a std::thread and terminate the process.
+ * after all helpers leave (remaining indices are abandoned); an exception
+ * can therefore never escape a pool thread and terminate the process.
  *
  * Callers are responsible for fn being safe to run concurrently and for
  * any ordering of results (write to index-owned slots, fold afterwards).
  */
 void parallel_for_dynamic(size_t n, int threads,
                           const std::function<void(size_t)>& fn);
+
+/**
+ * The slot-aware variant: fn(i, slot) where `slot` identifies the
+ * executor running index i.  Slots are unique among concurrent executors
+ * of THIS call and lie in [0, parallel_width(n, threads)); the calling
+ * thread is always slot 0.  This is the per-worker state-reuse hook: a
+ * caller allocates parallel_width() cache slots (simulator, policies,
+ * decoder arena), and each executor owns its slot's caches for the whole
+ * loop.
+ */
+void parallel_for_slots(size_t n, int threads,
+                        const std::function<void(size_t, int)>& fn);
+
+/**
+ * The executor-slot bound of a (n, threads) loop: every slot id
+ * parallel_for_slots hands out is < this (>= 1; 1 means inline).
+ */
+inline size_t
+parallel_width(size_t n, int threads)
+{
+    const size_t t = threads < 1 ? 1 : static_cast<size_t>(threads);
+    const size_t w = n < t ? n : t;
+    return w < 1 ? 1 : w;
+}
 
 }  // namespace gld
 

@@ -16,6 +16,9 @@
 #include "campaign/registry.h"
 #include "io/serialize.h"
 #include "metrics_test_util.h"
+#include "util/config.h"
+#include "util/parallel.h"
+#include "util/thread_pool.h"
 
 namespace gld {
 namespace campaign {
@@ -446,6 +449,46 @@ TEST(Merge, RefusesMissingShardsAndForeignConfigs)
     CampaignSpec swapped = spec;
     std::swap(swapped.policies[0], swapped.policies[1]);
     EXPECT_THROW(merge_campaign(swapped, 2, dir), std::runtime_error);
+}
+
+TEST(Campaign, JobPoolAndRunnerShareOneThreadBudget)
+{
+    // -j N (jobs_parallel) and the per-job runner loops execute on the
+    // ONE process-wide pool: with both asking for the full
+    // BenchConfig::threads() budget, the pool must neither spawn new
+    // workers mid-campaign nor ever have more than `budget` threads
+    // active at once — the oversubscription regression behind the
+    // 8-thread-slower-than-1-thread trajectory point.
+    const CampaignSpec spec = small_spec("shared_budget");
+    const std::string dir = fresh_dir("shared_budget");
+
+    ThreadPool& pool = ThreadPool::instance();
+    const int budget = std::max(1, BenchConfig::threads());
+    parallel_for_dynamic(4, budget, [](size_t) {});  // warm the pool
+    const long created = pool.workers_created();
+    pool.reset_peak();
+
+    RunShardOptions opt;
+    opt.threads = 0;  // full budget per job
+    opt.jobs_parallel = 2;
+    const RunShardStats stats = run_shard(spec, 0, 1, dir, opt);
+    EXPECT_EQ(stats.jobs_run, static_cast<int>(spec.expand().size()));
+
+    EXPECT_EQ(pool.workers_created(), created);
+    EXPECT_GE(pool.peak_active(), 1);
+    EXPECT_LE(pool.peak_active(), budget);
+
+    // And the nested-pool schedule is a pure execution detail: the
+    // merged results match a serial single-thread pass bit for bit.
+    const std::string dir_serial = fresh_dir("shared_budget_serial");
+    run_shard(spec, 0, 1, dir_serial, /*threads=*/1);
+    const std::vector<Metrics> par = merge_campaign(spec, 1, dir);
+    const std::vector<Metrics> ser = merge_campaign(spec, 1, dir_serial);
+    ASSERT_EQ(par.size(), ser.size());
+    for (size_t i = 0; i < par.size(); ++i) {
+        SCOPED_TRACE(i);
+        expect_metrics_identical(ser[i], par[i]);
+    }
 }
 
 // --- Telemetry, liveness and calibration (the observability layer). ---

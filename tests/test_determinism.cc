@@ -379,5 +379,41 @@ TEST(Determinism, GladiatorSurfaceBitIdenticalAcrossThreads)
     }
 }
 
+// Per-worker simulator/policy/decoder reuse (the zero-allocation steady
+// state) must be invisible: reuse_worker_state = false reproduces the
+// fresh construct-per-block path, and both arms must agree bit for bit
+// at every thread count — per backend and batch width, via the same
+// GLD_BACKEND / GLD_BATCH_WORDS env axes as the rest of this suite.
+// (tests/test_worker_reuse.cc sweeps all backends x K explicitly.)
+TEST(Determinism, WorkerStateReuseBitIdenticalToFresh)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+
+    ExperimentConfig cfg = base_config();
+    cfg.np = NoiseParams::standard(1e-3, 0.1);
+    cfg.rounds = 6;
+    cfg.rng_streams = 2;
+    // 2 blocks per stream, trailing block partial: a slot reuses its
+    // cached state across full-after-partial and cross-stream blocks.
+    cfg.shots = 2 * ExperimentRunner::shot_block(cfg) + 17;
+    cfg.seed = 0xFEED5A5Aull;
+    cfg.leakage_sampling = true;
+    cfg.record_dlp_series = true;
+    cfg.compute_ler = true;
+
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+    ExperimentConfig fresh_cfg = cfg;
+    fresh_cfg.reuse_worker_state = false;
+    const Metrics fresh = run_with_threads(ctx, fresh_cfg, 1, factory);
+    EXPECT_EQ(fresh.shots, cfg.shots);
+    for (int threads : {1, 8, 16}) {
+        SCOPED_TRACE(threads);
+        expect_metrics_identical(fresh,
+                                 run_with_threads(ctx, cfg, threads, factory));
+    }
+}
+
 }  // namespace
 }  // namespace gld

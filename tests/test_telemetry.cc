@@ -132,6 +132,37 @@ TEST(TelemetryDriftGate, MetricsBitIdenticalAtWideBatchWidth)
     }
 }
 
+// The drift gate crossed with worker-state reuse: telemetry attachment
+// and per-worker simulator/policy/decoder reuse are BOTH pure
+// implementation details, so all four {collector on/off} x {reuse
+// on/off} arms must produce one bit pattern — a collector must not
+// perturb the reuse path (the Record rides per work unit while the
+// slot's caches ride per worker) and vice versa.
+TEST(TelemetryDriftGate, MetricsBitIdenticalAcrossReuseAndCollectorArms)
+{
+    if (!telemetry::kCompiledIn)
+        GTEST_SKIP() << "built with GLD_TELEMETRY=OFF";
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+
+    for (SimBackend backend : {SimBackend::kFrame, SimBackend::kBatchFrame}) {
+        SCOPED_TRACE(backend_name(backend));
+        ExperimentConfig cfg = small_config(backend);
+        cfg.threads = 8;
+        ExperimentConfig fresh_cfg = cfg;
+        fresh_cfg.reuse_worker_state = false;
+        const Metrics base = ExperimentRunner(ctx, fresh_cfg).run(factory);
+        expect_metrics_identical(base, ExperimentRunner(ctx, cfg).run(factory));
+        expect_metrics_identical(
+            base,
+            run_collected(ctx, fresh_cfg, factory, /*heatmap=*/true, nullptr));
+        expect_metrics_identical(
+            base, run_collected(ctx, cfg, factory, /*heatmap=*/true, nullptr));
+    }
+}
+
 // Contract 2a: the deterministic aggregates are thread-count independent,
 // per backend.
 TEST(TelemetryDeterminism, AggregatesIdenticalAcrossThreadCounts)

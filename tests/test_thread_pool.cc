@@ -1,0 +1,142 @@
+// The persistent worker pool behind parallel_for_dynamic /
+// parallel_for_slots: every loop index runs exactly once, slot ids obey
+// the per-slot-cache contract, exceptions propagate to the caller with
+// the pool intact, nested loops cannot deadlock, and — the perf_opt
+// regression hooks — the pool never re-spawns threads (workers_created
+// is flat across any number of loops) and never oversubscribes the
+// BenchConfig::threads() budget no matter how campaign-style job loops
+// nest runner loops (peak_active <= budget).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/config.h"
+#include "util/parallel.h"
+#include "util/thread_pool.h"
+
+namespace gld {
+namespace {
+
+TEST(ParallelWidth, BoundsSlotIds)
+{
+    EXPECT_EQ(parallel_width(0, 8), 1u);
+    EXPECT_EQ(parallel_width(100, 0), 1u);
+    EXPECT_EQ(parallel_width(100, 1), 1u);
+    EXPECT_EQ(parallel_width(3, 8), 3u);
+    EXPECT_EQ(parallel_width(100, 8), 8u);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    const size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits)
+        h.store(0);
+    parallel_for_dynamic(n, 8, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SlotIdsWithinWidthAndCallerIsSlotZero)
+{
+    const size_t n = 5000;
+    const int threads = 4;
+    const size_t width = parallel_width(n, threads);
+    std::vector<int> slot_of(n, -1);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::atomic<bool> caller_seen{false};
+    parallel_for_slots(n, threads, [&](size_t i, int slot) {
+        slot_of[i] = slot;
+        if (std::this_thread::get_id() == caller) {
+            EXPECT_EQ(slot, 0);
+            caller_seen.store(true);
+        }
+    });
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_GE(slot_of[i], 0);
+        EXPECT_LT(static_cast<size_t>(slot_of[i]), width);
+    }
+    // The caller always participates and drains its own loop.
+    EXPECT_TRUE(caller_seen.load());
+}
+
+TEST(ThreadPool, InlineWhenSingleThreaded)
+{
+    const std::thread::id caller = std::this_thread::get_id();
+    parallel_for_slots(100, 1, [&](size_t, int slot) {
+        EXPECT_EQ(slot, 0);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives)
+{
+    EXPECT_THROW(parallel_for_dynamic(1000, 8,
+                                      [&](size_t i) {
+                                          if (i == 137)
+                                              throw std::runtime_error(
+                                                  "boom");
+                                      }),
+                 std::runtime_error);
+    // The pool must be fully usable after a throwing loop.
+    std::atomic<long> sum{0};
+    parallel_for_dynamic(1000, 8, [&](size_t i) {
+        sum.fetch_add(static_cast<long>(i));
+    });
+    EXPECT_EQ(sum.load(), 999L * 1000L / 2);
+}
+
+TEST(ThreadPool, NestedLoopsComplete)
+{
+    // Campaign shape: an outer job loop whose body runs its own inner
+    // runner loop.  With a shared fixed-size pool this must neither
+    // deadlock (callers drain their own loops) nor lose indices.
+    std::atomic<long> total{0};
+    parallel_for_dynamic(6, 4, [&](size_t) {
+        parallel_for_dynamic(500, 4,
+                             [&](size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 6 * 500);
+}
+
+TEST(ThreadPool, WorkersPersistAcrossLoops)
+{
+    ThreadPool& pool = ThreadPool::instance();
+    const int budget = std::max(1, BenchConfig::threads());
+    EXPECT_LE(pool.workers(), budget - 1 < 0 ? 0 : budget - 1);
+    const long created_before = pool.workers_created();
+    EXPECT_EQ(created_before, static_cast<long>(pool.workers()));
+    // The old scheduler spawned `width` threads per call; the pool must
+    // create exactly zero across any number of loops.
+    for (int rep = 0; rep < 50; ++rep)
+        parallel_for_dynamic(64, 8, [](size_t) {});
+    EXPECT_EQ(pool.workers_created(), created_before);
+}
+
+TEST(ThreadPool, NestedLoadNeverExceedsThreadBudget)
+{
+    ThreadPool& pool = ThreadPool::instance();
+    const int budget = std::max(1, BenchConfig::threads());
+    pool.reset_peak();
+    // Oversubscription regression (campaign -j N x runner --threads):
+    // nested loops asking for the full budget at BOTH levels must still
+    // execute on at most `budget` OS threads.
+    parallel_for_dynamic(8, budget, [&](size_t) {
+        parallel_for_dynamic(256, budget, [](size_t i) {
+            // A little real work so helpers actually overlap.
+            volatile uint64_t x = i;
+            for (int k = 0; k < 100; ++k)
+                x = x * 6364136223846793005ull + 1442695040888963407ull;
+            (void)x;
+        });
+    });
+    EXPECT_GE(pool.peak_active(), 1);
+    EXPECT_LE(pool.peak_active(), budget);
+}
+
+}  // namespace
+}  // namespace gld

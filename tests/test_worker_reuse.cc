@@ -1,0 +1,161 @@
+// Per-worker state reuse (the zero-allocation steady state) must be
+// invisible in the results: a slot's cached simulator/policies/decoder,
+// reset_for_block()-ed per (stream, block), produces Metrics
+// BIT-identical to fresh per-block construction — on every backend, at
+// every batch width K and at every thread count (slots run different
+// unit interleavings at different thread counts, so this also pins that
+// no block leaks state into the next block a slot happens to run).
+//
+// The fresh arm is cfg.reuse_worker_state = false, which reproduces the
+// pre-reuse construct-per-block path exactly.
+
+#include <gtest/gtest.h>
+
+#include "codes/surface_code.h"
+#include "metrics_test_util.h"
+#include "runtime/experiment.h"
+#include "sim/simulator.h"
+#include "util/thread_pool.h"
+
+namespace gld {
+namespace {
+
+using test::expect_metrics_identical;
+
+Metrics
+run_cfg(const CodeContext& ctx, ExperimentConfig cfg, bool reuse,
+        int threads, const PolicyFactory& factory)
+{
+    cfg.reuse_worker_state = reuse;
+    cfg.threads = threads;
+    ExperimentRunner runner(ctx, cfg);
+    return runner.run(factory);
+}
+
+/**
+ * Shots that force the reuse machinery through every shape: 2 streams x
+ * 2 blocks each, the trailing block partial (its lane boundary falls
+ * mid-span for K > 1), so a single slot at threads=1 runs 4 consecutive
+ * units — full-after-partial and cross-stream resets included.
+ */
+int
+stress_shots(const ExperimentConfig& cfg)
+{
+    return 2 * ExperimentRunner::shot_block(cfg) + 17;
+}
+
+ExperimentConfig
+stress_config(SimBackend backend, int batch_words)
+{
+    ExperimentConfig cfg;
+    cfg.backend = backend;
+    cfg.batch_words = batch_words;
+    cfg.np = NoiseParams::standard(2e-3, 0.1);
+    cfg.rounds = 4;
+    cfg.rng_streams = 2;
+    cfg.shots = stress_shots(cfg);
+    cfg.seed = 0xC0FFEE5EEDull;
+    cfg.leakage_sampling = true;
+    cfg.record_dlp_series = true;
+    cfg.compute_ler = true;
+    return cfg;
+}
+
+class WorkerReuse : public ::testing::TestWithParam<SimBackend> {};
+
+TEST_P(WorkerReuse, BitIdenticalToFreshAtEveryKAndThreadCount)
+{
+    const CssCode& code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+
+    for (int k : {1, 2, 8}) {
+        SCOPED_TRACE("batch_words=" + std::to_string(k));
+        const ExperimentConfig cfg = stress_config(GetParam(), k);
+        for (int threads : {1, 8, 16}) {
+            SCOPED_TRACE("threads=" + std::to_string(threads));
+            const Metrics fresh = run_cfg(ctx, cfg, false, threads, factory);
+            const Metrics reused = run_cfg(ctx, cfg, true, threads, factory);
+            EXPECT_EQ(fresh.shots, cfg.shots);
+            expect_metrics_identical(fresh, reused);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, WorkerReuse,
+                         ::testing::ValuesIn(known_backends()),
+                         [](const auto& pinfo) {
+                             return std::string(backend_name(pinfo.param));
+                         });
+
+TEST(WorkerReuse, SameRunnerTwiceIsBitIdentical)
+{
+    // Back-to-back runs on ONE runner share the persistent pool (and,
+    // within each run, per-slot caches): the second run must replay the
+    // first bit for bit on every backend.
+    const CssCode& code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+
+    for (SimBackend backend : known_backends()) {
+        SCOPED_TRACE(backend_name(backend));
+        ExperimentConfig cfg = stress_config(backend, 2);
+        cfg.threads = 8;
+        ExperimentRunner runner(ctx, cfg);
+        const Metrics first = runner.run(factory);
+        expect_metrics_identical(first, runner.run(factory));
+    }
+}
+
+TEST(WorkerReuse, InterleavedConfigsLeaveNoStaleState)
+{
+    // Different codes, backends and batch widths interleaved on the one
+    // process-wide pool: re-running a config after foreign work must
+    // reproduce its first result exactly, for every backend.
+    const CssCode& d3 = SurfaceCode::make(3);
+    const RoundCircuit rc3(d3);
+    const CodeContext ctx3(d3, rc3, CodeContext::default_scope(d3));
+    const CssCode& d5 = SurfaceCode::make(5);
+    const RoundCircuit rc5(d5);
+    const CodeContext ctx5(d5, rc5, CodeContext::default_scope(d5));
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+
+    std::vector<Metrics> first;
+    for (SimBackend backend : known_backends()) {
+        ExperimentConfig cfg = stress_config(backend, 2);
+        first.push_back(run_cfg(ctx3, cfg, true, 8, factory));
+        // Foreign interleaved work: another code, another K.
+        ExperimentConfig other = stress_config(backend, 1);
+        other.shots = ExperimentRunner::shot_block(other) + 3;
+        run_cfg(ctx5, other, true, 8, factory);
+    }
+    size_t i = 0;
+    for (SimBackend backend : known_backends()) {
+        SCOPED_TRACE(backend_name(backend));
+        ExperimentConfig cfg = stress_config(backend, 2);
+        expect_metrics_identical(first[i++],
+                                 run_cfg(ctx3, cfg, true, 8, factory));
+    }
+}
+
+TEST(WorkerReuse, RunnerLoopsNeverRespawnWorkers)
+{
+    // The allocation-free steady state includes threads: however many
+    // runner loops execute, the pool spawns nothing new.
+    const CssCode& code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+
+    ExperimentConfig cfg = stress_config(SimBackend::kBatchFrame, 2);
+    run_cfg(ctx, cfg, true, 8, factory);  // warm the pool
+    const long created = ThreadPool::instance().workers_created();
+    for (int rep = 0; rep < 3; ++rep)
+        run_cfg(ctx, cfg, true, 8, factory);
+    EXPECT_EQ(ThreadPool::instance().workers_created(), created);
+}
+
+}  // namespace
+}  // namespace gld

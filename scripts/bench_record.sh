@@ -87,13 +87,19 @@ for b in raw.get("benchmarks", []):
     results[b["label"]] = b
 
 # The full registration list of bench/micro_speculation.cc's
-# BM_BackendThroughput.  Labels: backend[@w<K>][@t<threads>], with the
-# plain backend name at K=1/threads=1 so old records stay comparable.
+# BM_BackendThroughput.  Labels:
+# backend[@w<K>][@t<threads>][@sparse][@ler], with the plain backend
+# name at K=1/threads=1/lockstep so old records stay comparable.
+# @sparse (event-driven noise sampling) and @ler (decode on) fold into
+# the trajectory's backend KEY — they are different measurements, not
+# points of the lockstep K sweep, and must never shadow it.
 EXPECTED = [
     "frame", "frame@t8",
     "batch_frame", "batch_frame@w2", "batch_frame@w4", "batch_frame@w8",
     "batch_frame@t8", "batch_frame@w4@t8", "batch_frame@w8@t8",
+    "batch_frame@sparse", "batch_frame@w8@sparse", "batch_frame@ler",
     "tableau", "batch_tableau", "batch_tableau@w4",
+    "batch_tableau@sparse",
     "batch_tableau@t8", "batch_tableau@w4@t8",
 ]
 missing = [l for l in EXPECTED if l not in results]
@@ -106,7 +112,13 @@ if missing:
 def parse_label(label):
     backend, words, threads = label.split("@")[0], 1, 1
     for part in label.split("@")[1:]:
-        if part.startswith("w"):
+        if part in ("sparse", "ler"):
+            # Mode suffixes become part of the backend key: a sparse or
+            # decode-on row is its own trajectory series, compared PR
+            # over PR against itself (and, within one record, against
+            # the plain lockstep rows it was measured beside).
+            backend += "@" + part
+        elif part.startswith("w"):
             words = int(part[1:])
         elif part.startswith("t"):
             threads = int(part[1:])
@@ -118,7 +130,7 @@ def parse_label(label):
 
 # Best single-thread rate per backend across the K sweep, plus the best
 # multi-threaded point per backend.
-best_single = {}   # backend -> (words, shots/s)
+best_single = {}   # backend -> (words, shots/s, label)
 sweep = {}         # backend -> {str(K): shots/s}
 best_multi = {}    # backend -> {threads, batch_words, shots_per_second}
 for label, b in sorted(results.items()):
@@ -127,7 +139,7 @@ for label, b in sorted(results.items()):
     if threads == 1:
         sweep.setdefault(backend, {})[str(words)] = round(sps, 1)
         if backend not in best_single or sps > best_single[backend][1]:
-            best_single[backend] = (words, sps)
+            best_single[backend] = (words, sps, label)
     else:
         prev = best_multi.get(backend)
         if prev is None or sps > prev["shots_per_second"]:
@@ -154,8 +166,7 @@ for backend, multi in sorted(best_multi.items()):
 # Telemetry stage split at each backend's chosen K: fraction of worker
 # wall time in sim / policy / decode / accounting (frac_* counters).
 stage_frac = {}
-for backend, (words, _) in best_single.items():
-    label = backend + (f"@w{words}" if words > 1 else "")
+for backend, (words, _, label) in best_single.items():
     frac = {
         k[len("frac_"):]: round(v, 4)
         for k, v in sorted(results[label].items())
@@ -177,11 +188,11 @@ record = {
     "min_time_s": float(os.environ["MIN_TIME"]),
     "shots_per_second": {
         backend: round(sps, 1)
-        for backend, (_, sps) in sorted(best_single.items())
+        for backend, (_, sps, _label) in sorted(best_single.items())
     },
     "chosen_batch_words": {
         backend: words
-        for backend, (words, _) in sorted(best_single.items())
+        for backend, (words, _, _label) in sorted(best_single.items())
     },
     "batch_width_sweep": sweep,
     "multi_thread": best_multi,

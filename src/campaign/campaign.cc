@@ -65,6 +65,7 @@ CampaignSpec::expand() const
                 job.cfg.rng_streams = rng_streams;
                 job.cfg.backend = backend;
                 job.cfg.batch_words = batch_words;
+                job.cfg.noise_sampling = noise_sampling;
                 jobs.push_back(std::move(job));
                 ++index;
             }
@@ -92,6 +93,9 @@ CampaignSpec::to_json() const
     // existing spec files and their job config hashes are untouched.
     if (batch_words != 1)
         j.set("batch_words", Json::integer(batch_words));
+    if (noise_sampling != NoiseSampling::kLockstep)
+        j.set("noise_sampling",
+              Json::str(noise_sampling_name(noise_sampling)));
     Json jc = Json::array();
     for (const std::string& c : codes)
         jc.push(Json::str(c));
@@ -130,6 +134,10 @@ CampaignSpec::from_json(const Json& j)
     spec.batch_words = j.has("batch_words")
                            ? static_cast<int>(j["batch_words"].as_int())
                            : 1;
+    spec.noise_sampling =
+        j.has("noise_sampling")
+            ? noise_sampling_from_name(j["noise_sampling"].as_str())
+            : NoiseSampling::kLockstep;
     spec.codes.clear();
     const Json& jc = j["codes"];
     for (size_t i = 0; i < jc.size(); ++i)

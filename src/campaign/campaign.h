@@ -69,6 +69,13 @@ struct CampaignSpec {
      * and hashes are untouched.
      */
     int batch_words = 1;
+    /**
+     * Noise sampling mode every job runs under (see
+     * ExperimentConfig::noise_sampling; result-affecting on the batch
+     * backends, so config-hashed per job when != lockstep).  Serialized
+     * only when != lockstep — existing specs and hashes are untouched.
+     */
+    NoiseSampling noise_sampling = NoiseSampling::kLockstep;
     std::vector<std::string> codes;     ///< e.g. {"surface:3", "surface:5"}
     std::vector<std::string> policies;  ///< registry names
     std::vector<NoiseParams> noise;     ///< grid points

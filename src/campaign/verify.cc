@@ -58,14 +58,16 @@ verify_arm_spec(const CampaignSpec& grid, SimBackend backend,
 }
 
 CompareMode
-verify_compare_mode(SimBackend candidate, const VerifyOptions& opt)
+verify_compare_mode(SimBackend candidate, const VerifyOptions& opt,
+                    NoiseSampling sampling)
 {
     // Bit-exactness is only promised when the candidate replays the
-    // reference's exact draw sequence: same RNG contract, same seeds,
+    // reference's exact draw sequence: same RNG contract — under the
+    // grid's noise sampling mode, which every arm inherits — same seeds,
     // same noise.  A deliberately perturbed arm (salted seeds, injected
     // noise) is always a statistical comparison.
-    if (backend_rng_contract(candidate) ==
-            backend_rng_contract(opt.reference) &&
+    if (backend_rng_contract(candidate, sampling) ==
+            backend_rng_contract(opt.reference, sampling) &&
         !opt.independent_seeds && opt.inject_noise_scale == 1.0)
         return CompareMode::kBitExact;
     return CompareMode::kStatistical;
@@ -162,7 +164,8 @@ run_verify(const CampaignSpec& grid, const VerifyOptions& opt,
     const int tests_per_point = 3 + (grid.compute_ler ? 1 : 0);
     int n_stat_arms = 0;
     for (SimBackend cand : cands) {
-        if (verify_compare_mode(cand, opt) == CompareMode::kStatistical)
+        if (verify_compare_mode(cand, opt, grid.noise_sampling) ==
+            CompareMode::kStatistical)
             ++n_stat_arms;
     }
     const int m =
@@ -181,7 +184,8 @@ run_verify(const CampaignSpec& grid, const VerifyOptions& opt,
 
     for (size_t ci = 0; ci < cands.size(); ++ci) {
         const SimBackend cand = cands[ci];
-        const CompareMode mode = verify_compare_mode(cand, opt);
+        const CompareMode mode =
+            verify_compare_mode(cand, opt, grid.noise_sampling);
         for (size_t j = 0; j < jobs.size(); ++j) {
             PointVerdict pv;
             pv.job_index = jobs[j].index;

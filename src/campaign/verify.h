@@ -120,11 +120,16 @@ CampaignSpec verify_arm_spec(const CampaignSpec& grid, SimBackend backend,
 
 /**
  * How `candidate` will be refereed against opt.reference: bit-exact iff
- * they share an RNG contract AND the candidate arm's config is not
- * deliberately perturbed (independent seeds / injected noise).
+ * they share an RNG contract — under the grid's noise sampling mode,
+ * which moves the batch backends to their own contracts at sparse while
+ * the scalar backends keep ignoring the knob (so sparse batch_frame vs
+ * frame is a STATISTICAL comparison against a genuine lockstep
+ * reference) — AND the candidate arm's config is not deliberately
+ * perturbed (independent seeds / injected noise).
  */
-CompareMode verify_compare_mode(SimBackend candidate,
-                                const VerifyOptions& opt);
+CompareMode verify_compare_mode(
+    SimBackend candidate, const VerifyOptions& opt,
+    NoiseSampling sampling = NoiseSampling::kLockstep);
 
 /** Candidate list with the default ("all other known backends")
  *  resolved; throws if a candidate equals the reference without

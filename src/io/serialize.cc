@@ -139,6 +139,13 @@ config_to_json(const ExperimentConfig& cfg)
     // stays byte-identical (no version bump needed: absence == 1).
     if (cfg.batch_words != 1)
         j.set("batch_words", Json::integer(cfg.batch_words));
+    // noise_sampling is RESULT-AFFECTING on the batch backends (sparse
+    // draws a different, verify-qualified sequence) so it must be hashed
+    // — but only when != lockstep, keeping every existing document and
+    // config hash byte-identical (absence == lockstep, no version bump).
+    if (cfg.noise_sampling != NoiseSampling::kLockstep)
+        j.set("noise_sampling",
+              Json::str(noise_sampling_name(cfg.noise_sampling)));
     // cfg.threads is deliberately NOT serialized: it does not affect
     // results (determinism contract) and must not affect the config hash.
     return j;
@@ -165,6 +172,10 @@ config_from_json(const Json& j)
     cfg.batch_words = j.has("batch_words")
                           ? static_cast<int>(j["batch_words"].as_int())
                           : 1;
+    cfg.noise_sampling =
+        j.has("noise_sampling")
+            ? noise_sampling_from_name(j["noise_sampling"].as_str())
+            : NoiseSampling::kLockstep;
     return cfg;
 }
 

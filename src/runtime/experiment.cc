@@ -111,7 +111,8 @@ ExperimentRunner::run_block(const PolicyFactory& factory, int stream,
     // allocates nothing here.
     if (res->sim == nullptr)
         res->sim = make_simulator(cfg_.backend, code, ctx_->rc(), cfg_.np,
-                                  sim_seed, cfg_.batch_words);
+                                  sim_seed, cfg_.batch_words,
+                                  cfg_.noise_sampling);
     else
         res->sim->reset_for_block(sim_seed);
     Simulator* sim = res->sim.get();

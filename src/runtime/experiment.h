@@ -59,6 +59,18 @@ struct ExperimentConfig {
      */
     int batch_words = 1;
     /**
+     * The batch backends' Bernoulli draw contract (sim/simulator.h):
+     * kLockstep advances every lane's stream at every noise site (the
+     * scalar-aligned default), kSparse draws geometric event skips from
+     * one per-(stream, block) stream and touches only firing lanes.
+     * RESULT-AFFECTING on the batch backends — sparse draws a different
+     * (statistically equivalent, verify-qualified) sequence — so it is
+     * serialized and config-hashed when != kLockstep; the default
+     * reproduces every existing config hash byte for byte.  The scalar
+     * backends ignore it entirely (like batch_words).
+     */
+    NoiseSampling noise_sampling = NoiseSampling::kLockstep;
+    /**
      * Reuse per-worker simulator/policy/decoder state across (stream,
      * block) work units (the zero-allocation steady state) instead of
      * reconstructing per block.  NEVER result-affecting: a reused

@@ -343,10 +343,11 @@ BatchLeakageDriver::BatchLeakageDriver(const CssCode& code,
                                        const RoundCircuit& rc,
                                        const NoiseParams& np, Rng master,
                                        BatchStatePrimitives* state,
-                                       int batch_words)
+                                       int batch_words,
+                                       NoiseSampling noise_sampling)
     : code_(&code), rc_(&rc), np_(np), rate_p_(np.p), rate_pl_(np.pl()),
       rate_mlr_(np.mlr_err()), master_rng_(master), words_(batch_words),
-      state_(state)
+      sparse_(noise_sampling == NoiseSampling::kSparse), state_(state)
 {
     if (batch_words < 1 || batch_words > kMaxBatchWords)
         throw std::invalid_argument(
@@ -374,8 +375,15 @@ BatchLeakageDriver::BatchLeakageDriver(const CssCode& code,
         lane_oracles_[static_cast<size_t>(l)].bind(this, l);
     // Like the scalar driver, shot 0's stream is live from construction
     // (one active lane) so primitive-level probing before any reset works.
-    for (int l = 0; l < max_lanes; ++l)
-        lane_rng_.seed_lane(l, master_rng_.split(0));
+    // Sparse mode never reads the lane bank: its one event stream (armed
+    // the same way a first reset_shot_batch would arm it) replaces all
+    // per-lane seeding work.
+    if (sparse_) {
+        sparse_reset(0);
+    } else {
+        for (int l = 0; l < max_lanes; ++l)
+            lane_rng_.seed_lane(l, master_rng_.split(0));
+    }
     active_[0] = 1;
     n_lanes_ = 1;
 }
@@ -403,11 +411,21 @@ BatchLeakageDriver::reset_shot_batch(int n_lanes)
         else
             active_[w] = 0;
     }
-    // Lane l replays exactly the scalar driver's (shots_started_ + l)-th
-    // shot: same master, same split id, same draw order — at every K.
-    for (int l = 0; l < n_lanes; ++l)
-        lane_rng_.seed_lane(
-            l, master_rng_.split(shots_started_ + static_cast<uint64_t>(l)));
+    if (sparse_) {
+        // One event stream per batch, derived from the same master at the
+        // batch's first shot index: events depend only on (seed, stream,
+        // block, batch #), so thread counts and shard splits cannot move
+        // them.  The geometric countdowns restart with the stream.
+        sparse_reset(shots_started_);
+    } else {
+        // Lane l replays exactly the scalar driver's (shots_started_ +
+        // l)-th shot: same master, same split id, same draw order — at
+        // every K.
+        for (int l = 0; l < n_lanes; ++l)
+            lane_rng_.seed_lane(
+                l,
+                master_rng_.split(shots_started_ + static_cast<uint64_t>(l)));
+    }
     shots_started_ += static_cast<uint64_t>(n_lanes);
     state_->reset_state();
 }
@@ -428,9 +446,13 @@ BatchLeakageDriver::reset_for_block(Rng master)
     std::fill(mlr_flag_.begin(), mlr_flag_.end(), 0);
     std::fill(det_scratch_.begin(), det_scratch_.end(), 0);
     first_round_ = true;
-    const int max_lanes = words_ * kBatchLanes;
-    for (int l = 0; l < max_lanes; ++l)
-        lane_rng_.seed_lane(l, master_rng_.split(0));
+    if (sparse_) {
+        sparse_reset(0);
+    } else {
+        const int max_lanes = words_ * kBatchLanes;
+        for (int l = 0; l < max_lanes; ++l)
+            lane_rng_.seed_lane(l, master_rng_.split(0));
+    }
     for (int w = 0; w < words_; ++w)
         active_[w] = 0;
     active_[0] = 1;
@@ -505,11 +527,98 @@ BatchLeakageDriver::n_check_leaked(int lane) const
     return n;
 }
 
+uint64_t
+BatchLeakageDriver::sparse_geometric(const LaneRate& rate)
+{
+    // u in (2^-53, 1]: the +1 keeps log() finite and makes skip == 0
+    // (an immediate event) land exactly on probability p.  floor(log(u)
+    // / log(1-p)) is the standard inverse-CDF geometric: the number of
+    // quiet (site x lane) positions before the next firing one.
+    const double u =
+        (static_cast<double>(event_rng_.next_u64() >> 11) + 1.0) *
+        0x1.0p-53;
+    const double s = __builtin_log(u) * rate.inv_log1mp;
+    // Clamp the astronomically-rare huge skip below the double->uint64
+    // UB edge; a countdown this long outlives any real work unit anyway.
+    if (s >= 9.0e18)
+        return static_cast<uint64_t>(9.0e18);
+    return static_cast<uint64_t>(s);
+}
+
+int
+BatchLeakageDriver::kth_set_lane(const LaneMask* mask, int n_words,
+                                 uint64_t k)
+{
+    for (int w = 0; w < n_words; ++w) {
+        const uint64_t pc =
+            static_cast<uint64_t>(__builtin_popcountll(mask[w]));
+        if (k < pc) {
+            LaneMask m = mask[w];
+            for (uint64_t i = 0; i < k; ++i)
+                m &= m - 1;  // clear the k lowest set bits
+            return w * kBatchLanes + __builtin_ctzll(m);
+        }
+        k -= pc;
+    }
+    return -1;  // unreachable while k < popcount(mask)
+}
+
+template <int WT>
+inline LaneMask
+BatchLeakageDriver::sparse_bernoulli_mask(LaneRate& rate,
+                                          const LaneMask* mask,
+                                          LaneMask* out)
+{
+    const int W = WT > 0 ? WT : words_;
+    LaneMask any_mask = 0;
+    for (int w = 0; w < W; ++w) {
+        out[w] = 0;
+        any_mask |= mask[w];
+    }
+    // Degenerate rates short-circuit with zero draws, like lockstep's
+    // (and Rng::bernoulli's) no-draw contract.
+    if (rate.never || any_mask == 0)
+        return 0;
+    if (rate.always) {
+        for (int w = 0; w < W; ++w)
+            out[w] = mask[w];
+        return any_mask;
+    }
+    uint64_t count = 0;
+    for (int w = 0; w < W; ++w)
+        count += static_cast<uint64_t>(__builtin_popcountll(mask[w]));
+    if (!rate.skip_valid) {
+        rate.skip = sparse_geometric(rate);
+        rate.skip_valid = true;
+    }
+    if (rate.skip >= count) {
+        // The quiet site — the overwhelmingly common case at paper noise
+        // rates: a few popcounts and one subtraction, zero RNG work.
+        rate.skip -= count;
+        return 0;
+    }
+    // Walk the events inside this site's candidate positions, ascending
+    // global lane order (the deterministic event order the bit-identity
+    // gate pins).
+    uint64_t k = rate.skip;
+    while (k < count) {
+        set_lane_bit(out, kth_set_lane(mask, W, k));
+        k += 1 + sparse_geometric(rate);
+    }
+    rate.skip = k - count;
+    LaneMask any = 0;
+    for (int w = 0; w < W; ++w)
+        any |= out[w];
+    return any;
+}
+
 template <int WT>
 __attribute__((always_inline)) inline LaneMask
-BatchLeakageDriver::bernoulli_mask(const LaneRate& rate,
+BatchLeakageDriver::bernoulli_mask(LaneRate& rate,
                                    const LaneMask* mask, LaneMask* out)
 {
+    if (sparse_)
+        return sparse_bernoulli_mask<WT>(rate, mask, out);
     const int W = WT > 0 ? WT : words_;
     LaneMask any_mask = 0;
     for (int w = 0; w < W; ++w)
@@ -575,7 +684,7 @@ BatchLeakageDriver::depolarize1(int q)
     lanes_zero(xs, W);
     lanes_zero(zs, W);
     for_each_lane(fired, W, [&](int l) {
-        const uint32_t pauli = 1 + lane_rng_.uniform_int_lane(l, 3);
+        const uint32_t pauli = 1 + payload_uniform_int(l, 3);
         xs[l >> 6] |= static_cast<LaneMask>(pauli & 1u) << (l & 63);
         zs[l >> 6] |= static_cast<LaneMask>((pauli >> 1) & 1u) << (l & 63);
     });
@@ -597,7 +706,7 @@ BatchLeakageDriver::depolarize2(int q0, int q1)
     lanes_zero(x1, W);
     lanes_zero(z1, W);
     for_each_lane(fired, W, [&](int l) {
-        const uint32_t pauli = 1 + lane_rng_.uniform_int_lane(l, 15);
+        const uint32_t pauli = 1 + payload_uniform_int(l, 15);
         x0[l >> 6] |= static_cast<LaneMask>(pauli & 1u) << (l & 63);
         z0[l >> 6] |= static_cast<LaneMask>((pauli >> 1) & 1u) << (l & 63);
         x1[l >> 6] |= static_cast<LaneMask>((pauli >> 2) & 1u) << (l & 63);
@@ -634,8 +743,10 @@ BatchLeakageDriver::data_noise_pair(int q)
 {
     // depolarize1(q) then leak_maybe(q), fused.  Degenerate rates fall
     // back to the single-site path (which replicates Rng::bernoulli's
-    // draw-skipping exactly).
-    if (rate_p_.never || rate_p_.always || rate_pl_.never ||
+    // draw-skipping exactly).  Sparse mode always takes it: its sites
+    // route through the event sampler, which has no lane streams to fuse
+    // — and on a quiet round both sites cost zero draws anyway.
+    if (sparse_ || rate_p_.never || rate_p_.always || rate_pl_.never ||
         rate_pl_.always) {
         depolarize1<WT>(q);
         leak_maybe<WT>(q);
@@ -683,7 +794,9 @@ BatchLeakageDriver::cnot_noise_triple(int control, int target)
 {
     // depolarize2(control, target), leak_maybe(control),
     // leak_maybe(target) — the gate-noise tail of every CNOT — fused.
-    if (rate_p_.never || rate_p_.always || rate_pl_.never ||
+    // Sparse mode bypasses the fusion (and its rewind/repair machinery)
+    // entirely, like data_noise_pair.
+    if (sparse_ || rate_p_.never || rate_p_.always || rate_pl_.never ||
         rate_pl_.always) {
         depolarize2<WT>(control, target);
         leak_maybe<WT>(control);
@@ -785,14 +898,14 @@ BatchLeakageDriver::cnot(int control, int target)
             if ((cl[wi] & bit) != 0) {
                 // Leaked control: transport with prob `mobility`, else
                 // the target partner is disturbed.
-                if (lane_rng_.bernoulli_lane(l, np_.mobility)) {
+                if (payload_bernoulli(l, np_.mobility)) {
                     transport[wi] |= bit;
                 } else if (t_is_anc && !np_.leaked_gate_backaction) {
                     // Ancilla CNOT target is Z-measured: 50% X flip.
-                    if (lane_rng_.bit_lane(l))
+                    if (payload_bit(l))
                         xs_t[wi] |= bit;
                 } else {
-                    const uint32_t pauli = lane_rng_.uniform_int_lane(l, 4);
+                    const uint32_t pauli = payload_uniform_int(l, 4);
                     xs_t[wi] |= static_cast<LaneMask>(pauli & 1u)
                                 << (l & 63);
                     zs_t[wi] |= static_cast<LaneMask>((pauli >> 1) & 1u)
@@ -803,10 +916,10 @@ BatchLeakageDriver::cnot(int control, int target)
                 if (c_is_anc && !np_.leaked_gate_backaction) {
                     // Ancilla CNOT control (X check, between its
                     // Hadamards) is X-measured: 50% Z flip.
-                    if (lane_rng_.bit_lane(l))
+                    if (payload_bit(l))
                         zs_c[wi] |= bit;
                 } else {
-                    const uint32_t pauli = lane_rng_.uniform_int_lane(l, 4);
+                    const uint32_t pauli = payload_uniform_int(l, 4);
                     xs_c[wi] |= static_cast<LaneMask>(pauli & 1u)
                                 << (l & 63);
                     zs_c[wi] |= static_cast<LaneMask>((pauli >> 1) & 1u)
@@ -847,8 +960,8 @@ BatchLeakageDriver::apply_lrc_data(int q, int lane)
     } else {
         clear_leak_lane(q, lane);
     }
-    if (lane_rng_.bernoulli_lane(lane, np_.lrc_depol())) {
-        const uint32_t pauli = 1 + lane_rng_.uniform_int_lane(lane, 3);
+    if (payload_bernoulli(lane, np_.lrc_depol())) {
+        const uint32_t pauli = 1 + payload_uniform_int(lane, 3);
         LaneMask xs[kMaxBatchWords], zs[kMaxBatchWords];
         lanes_zero(xs, words_);
         lanes_zero(zs, words_);
@@ -856,7 +969,7 @@ BatchLeakageDriver::apply_lrc_data(int q, int lane)
         zs[wi] = (pauli & 2u) != 0 ? bit : 0;
         state_->apply_pauli(q, xs, zs);
     }
-    if (lane_rng_.bernoulli_lane(lane, np_.lrc_leak()))
+    if (payload_bernoulli(lane, np_.lrc_leak()))
         set_leak_lane(q, lane);
 }
 
@@ -871,7 +984,7 @@ BatchLeakageDriver::apply_lrc_check(int c, int lane)
     lanes_zero(one, words_);
     one[wi] = bit;
     state_->reset_z(anc, one);
-    if (lane_rng_.bernoulli_lane(lane, np_.lrc_leak()))
+    if (payload_bernoulli(lane, np_.lrc_leak()))
         set_leak_lane(anc, lane);
 }
 
@@ -965,6 +1078,30 @@ BatchLeakageDriver::run_round_t(const std::vector<LrcSchedule>& lane_lrcs,
                 &meas_flip_[static_cast<size_t>(op.mslot) * Ws];
             LaneMask* mlrw =
                 &mlr_flag_[static_cast<size_t>(op.mslot) * Ws];
+            if (sparse_) {
+                // Event-driven readout: the error site draws over the
+                // non-leaked lanes only, leaked lanes coin-flip from the
+                // event stream (ascending lane order), and the MLR site
+                // is one more event pass — a quiet site costs nothing.
+                LaneMask err[kMaxBatchWords];
+                sparse_bernoulli_mask<WT>(rate_p_, ok, err);
+                LaneMask rnd[kMaxBatchWords];
+                lanes_zero(rnd, W);
+                if (any_lk != 0) {
+                    for_each_lane(lk, W, [&](int l) {
+                        if (event_rng_.bit())
+                            rnd[l >> 6] |= 1ull << (l & 63);
+                    });
+                }
+                for (int w = 0; w < W; ++w)
+                    flip[w] = ((measured[w] ^ err[w]) & ok[w]) |
+                              (rnd[w] & lk[w]);
+                LaneMask mlrt[kMaxBatchWords];
+                sparse_bernoulli_mask<WT>(rate_mlr_, active_, mlrt);
+                for (int w = 0; w < W; ++w)
+                    mlrw[w] = lk[w] ^ mlrt[w];
+                break;
+            }
             if (!rate_p_.never && !rate_p_.always) {
                 if (any_lk == 0 && !rate_mlr_.never && !rate_mlr_.always) {
                     // No leaked lane: readout error + MLR error as one
@@ -1142,7 +1279,19 @@ BatchLeakageDriver::final_measure_t(std::vector<std::vector<uint8_t>>* out)
         LaneMask measured[kMaxBatchWords];
         state_->measure_z(q, measured);
         LaneMask flip[kMaxBatchWords];
-        if (!rate_p_.never && !rate_p_.always) {
+        if (sparse_) {
+            LaneMask err[kMaxBatchWords];
+            sparse_bernoulli_mask<WT>(rate_p_, ok, err);
+            LaneMask rnd[kMaxBatchWords];
+            lanes_zero(rnd, W);
+            for_each_lane(lk, W, [&](int l) {
+                if (event_rng_.bit())
+                    rnd[l >> 6] |= 1ull << (l & 63);
+            });
+            for (int w = 0; w < W; ++w)
+                flip[w] = ((measured[w] ^ err[w]) & ok[w]) |
+                          (rnd[w] & lk[w]);
+        } else if (!rate_p_.never && !rate_p_.always) {
             lane_rng_.step_all(n_lanes_, draw_);
             for (int w = 0; w * kBatchLanes < n_lanes_; ++w) {
                 const int base = w * kBatchLanes;

@@ -383,20 +383,35 @@ class LaneRngBank {
  * A Bernoulli rate preprocessed for the lane bank's word-wide draw:
  * `thresh` is ceil(p * 2^53), and the p <= 0 / p >= 1 short-circuits
  * mirror Rng::bernoulli (which consumes NO draw in either case).
+ *
+ * The sparse (event-driven) sampler adds two kinds of state:
+ *  - `inv_log1mp` = 1 / log(1-p), precomputed so a geometric skip is one
+ *    log() per EVENT instead of one uniform per (site x lane) position.
+ *  - `skip` / `skip_valid`: the persistent geometric countdown carried
+ *    across every site drawn at this rate.  Bernoulli positions are iid,
+ *    so one countdown per rate over the concatenated (site x lane)
+ *    position stream is statistically exact — and it means a quiet site
+ *    costs a popcount and a subtraction, zero RNG work.  Only the sparse
+ *    sampler touches these fields; lockstep ignores them.
  */
 struct LaneRate {
     double p = 0.0;
     uint64_t thresh = 0;
     bool never = true;
     bool always = false;
+    double inv_log1mp = 0.0;  ///< 1/log(1-p) (sparse geometric skips)
+    uint64_t skip = 0;        ///< positions left before the next event
+    bool skip_valid = false;  ///< skip holds a live countdown
 
     LaneRate() = default;
     explicit LaneRate(double pp) : p(pp)
     {
         never = p <= 0.0;
         always = p >= 1.0;
-        if (!never && !always)
+        if (!never && !always) {
             thresh = static_cast<uint64_t>(__builtin_ceil(p * 0x1.0p53));
+            inv_log1mp = 1.0 / __builtin_log1p(-p);
+        }
     }
 };
 
@@ -492,10 +507,16 @@ class BatchLeakageDriver final {
      *        and the lane streams line up shot for shot.
      * @param batch_words words per lane span (1 <= K <= kMaxBatchWords);
      *        one batch holds up to batch_words*64 shots.
+     * @param noise_sampling lockstep (per-lane streams, the scalar-aligned
+     *        default) or sparse (one event stream for the whole batch,
+     *        geometric skips over the (site x lane) position space — its
+     *        own RNG contract, qualified statistically by verify).
      */
     BatchLeakageDriver(const CssCode& code, const RoundCircuit& rc,
                        const NoiseParams& np, Rng master,
-                       BatchStatePrimitives* state, int batch_words);
+                       BatchStatePrimitives* state, int batch_words,
+                       NoiseSampling noise_sampling =
+                           NoiseSampling::kLockstep);
 
     // Non-copyable for the same reason as LeakageDriver: the driver holds
     // the backend's primitives pointer.
@@ -614,6 +635,12 @@ class BatchLeakageDriver final {
 
     const NoiseParams& noise() const { return np_; }
 
+    /** The Bernoulli draw contract this driver runs under. */
+    NoiseSampling sampling() const
+    {
+        return sparse_ ? NoiseSampling::kSparse : NoiseSampling::kLockstep;
+    }
+
   private:
     /** LeakageOracle adapter for one lane of the batch driver. */
     class LaneOracle final : public LeakageOracle {
@@ -668,8 +695,56 @@ class BatchLeakageDriver final {
      * short-circuits.
      */
     template <int WT>
-    LaneMask bernoulli_mask(const LaneRate& rate, const LaneMask* mask,
+    LaneMask bernoulli_mask(LaneRate& rate, const LaneMask* mask,
                             LaneMask* out);
+
+    /**
+     * The event-driven Bernoulli site (NoiseSampling::kSparse): instead
+     * of advancing every lane's stream, walk `rate`'s persistent
+     * geometric countdown over the popcount(mask) candidate positions of
+     * this site (ascending global lane order) and set only the firing
+     * lanes in `out`.  A site where the countdown does not expire costs
+     * ZERO draws; each event costs one uniform (the next skip).  The
+     * countdown carries across sites, rounds and shots of one (stream,
+     * block) work unit — events depend only on (seed, stream, block), so
+     * results stay bit-identical across thread counts and shard splits.
+     */
+    template <int WT>
+    LaneMask sparse_bernoulli_mask(LaneRate& rate, const LaneMask* mask,
+                                   LaneMask* out);
+
+    /** Next geometric skip (# of non-events before the next event). */
+    uint64_t sparse_geometric(const LaneRate& rate);
+
+    /** Global lane index of the k-th set bit of a span (k < popcount). */
+    static int kth_set_lane(const LaneMask* mask, int n_words, uint64_t k);
+
+    // Payload draws (Pauli choice, transport direction, readout coin...)
+    // after a fire decision: lockstep takes them from the firing lane's
+    // own stream (scalar-aligned), sparse from the one event stream.
+    uint32_t payload_uniform_int(int lane, uint32_t n)
+    {
+        return sparse_ ? event_rng_.uniform_int(n)
+                       : lane_rng_.uniform_int_lane(lane, n);
+    }
+    bool payload_bit(int lane)
+    {
+        return sparse_ ? event_rng_.bit() : lane_rng_.bit_lane(lane);
+    }
+    bool payload_bernoulli(int lane, double p)
+    {
+        return sparse_ ? event_rng_.bernoulli(p)
+                       : lane_rng_.bernoulli_lane(lane, p);
+    }
+
+    /** Re-arms the sparse event stream + countdowns at a reset point. */
+    void sparse_reset(uint64_t stream_id)
+    {
+        event_rng_ = master_rng_.split(stream_id);
+        rate_p_.skip_valid = false;
+        rate_pl_.skip_valid = false;
+        rate_mlr_.skip_valid = false;
+    }
 
     /** Packs bits[0..n) (each 0 or 1) into out (ceil(n/64) words). */
     static void pack_bits(const uint64_t* bits, int n, LaneMask* out)
@@ -710,7 +785,9 @@ class BatchLeakageDriver final {
     Rng master_rng_;
     uint64_t shots_started_ = 0;
     int words_ = 1;         ///< K: words per lane span
-    LaneRngBank lane_rng_;  ///< per-lane shot streams (SoA)
+    bool sparse_ = false;   ///< NoiseSampling::kSparse event-driven draws
+    Rng event_rng_;         ///< the sparse mode's one per-batch stream
+    LaneRngBank lane_rng_;  ///< per-lane shot streams (SoA; lockstep only)
     uint64_t draw_[kMaxBatchLanes];  ///< scratch for word-wide draw sites
     uint64_t bits_[kMaxBatchLanes];  ///< scratch: 0/1 compare results
 
@@ -848,11 +925,14 @@ class BatchLeakageDriverSim : public BatchSimulator,
   protected:
     /** @param master see BatchLeakageDriver — pass the scalar backend's
      *         master (e.g. Rng(seed)) for shot-for-shot lane alignment.
-     *  @param batch_words the K of this backend's lane spans. */
+     *  @param batch_words the K of this backend's lane spans.
+     *  @param noise_sampling the driver's Bernoulli draw contract. */
     BatchLeakageDriverSim(const CssCode& code, const RoundCircuit& rc,
                           const NoiseParams& np, Rng master,
-                          int batch_words)
-        : driver_(code, rc, np, master, this, batch_words)
+                          int batch_words,
+                          NoiseSampling noise_sampling =
+                              NoiseSampling::kLockstep)
+        : driver_(code, rc, np, master, this, batch_words, noise_sampling)
     {
     }
 

@@ -6,11 +6,14 @@ namespace gld {
 
 BatchFrameSim::BatchFrameSim(const CssCode& code, const RoundCircuit& rc,
                              const NoiseParams& np, uint64_t seed,
-                             int batch_words)
-    // Same master stream as LeakFrameSim(seed): lane l of batch b is
-    // bit-identical to the scalar frame backend's shot (64*K*b + l),
-    // at every batch width K.
-    : BatchLeakageDriverSim(code, rc, np, Rng(seed), batch_words),
+                             int batch_words, NoiseSampling noise_sampling)
+    // Same master stream as LeakFrameSim(seed): under lockstep sampling
+    // lane l of batch b is bit-identical to the scalar frame backend's
+    // shot (64*K*b + l), at every batch width K.  Sparse sampling derives
+    // its event stream from the same master but draws a different
+    // sequence (its own RNG contract; qualified statistically).
+    : BatchLeakageDriverSim(code, rc, np, Rng(seed), batch_words,
+                            noise_sampling),
       words_(driver().n_words()),
       fx_(static_cast<size_t>(code.n_qubits()) *
               static_cast<size_t>(words_),

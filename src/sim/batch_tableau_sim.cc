@@ -4,13 +4,14 @@ namespace gld {
 
 BatchTableauSim::BatchTableauSim(const CssCode& code, const RoundCircuit& rc,
                                  const NoiseParams& np, uint64_t seed,
-                                 int batch_words)
+                                 int batch_words, NoiseSampling noise_sampling)
     // Same seed derivation shape as TableauLeakSim: the driver's noise
     // draws come from split(0) of the one seed, the tableaux's random
     // projection outcomes from per-lane splits under split(1) — disjoint
     // streams, one seed fixes the whole batch sequence.
     : BatchLeakageDriverSim(code, rc, np,
-                            Rng(Rng(seed).split(0).next_u64()), batch_words)
+                            Rng(Rng(seed).split(0).next_u64()), batch_words,
+                            noise_sampling)
 {
     const int max_lanes = driver().n_words() * kBatchLanes;
     Rng tab_master = Rng(seed).split(1);

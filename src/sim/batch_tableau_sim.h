@@ -39,8 +39,8 @@ namespace gld {
 class BatchTableauSim final : public BatchLeakageDriverSim {
   public:
     BatchTableauSim(const CssCode& code, const RoundCircuit& rc,
-                    const NoiseParams& np, uint64_t seed,
-                    int batch_words = 1);
+                    const NoiseParams& np, uint64_t seed, int batch_words = 1,
+                    NoiseSampling noise_sampling = NoiseSampling::kLockstep);
 
     std::string name() const override { return "batch_tableau"; }
 

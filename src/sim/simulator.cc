@@ -26,18 +26,40 @@ namespace {
  * measurement-collapse randomness (contract 1); batch_tableau draws
  * per-lane collapse randomness from yet another derivation (contract 2)
  * — each agrees with the others only statistically.
+ *
+ * sparse_rng_contract is the contract id the backend moves to under
+ * NoiseSampling::kSparse: the batch engines switch to an event-driven
+ * scalar stream per (stream, block) work unit (contracts 3 and 4 — a
+ * draw sequence no lockstep engine replays), while the scalar engines
+ * ignore the knob and keep their lockstep ids.
  */
 struct BackendEntry {
     SimBackend backend;
     const char* name;
     int rng_contract;
+    int sparse_rng_contract;
 };
 
 constexpr BackendEntry kBackendTable[] = {
-    {SimBackend::kFrame, "frame", 0},
-    {SimBackend::kTableau, "tableau", 1},
-    {SimBackend::kBatchFrame, "batch_frame", 0},
-    {SimBackend::kBatchTableau, "batch_tableau", 2},
+    {SimBackend::kFrame, "frame", 0, 0},
+    {SimBackend::kTableau, "tableau", 1, 1},
+    {SimBackend::kBatchFrame, "batch_frame", 0, 3},
+    {SimBackend::kBatchTableau, "batch_tableau", 2, 4},
+};
+
+/**
+ * The one noise-sampling table, mirroring kBackendTable: enum value +
+ * canonical name.  noise_sampling_name / _from_name / _from_env all
+ * derive from it.
+ */
+struct NoiseSamplingEntry {
+    NoiseSampling sampling;
+    const char* name;
+};
+
+constexpr NoiseSamplingEntry kNoiseSamplingTable[] = {
+    {NoiseSampling::kLockstep, "lockstep"},
+    {NoiseSampling::kSparse, "sparse"},
 };
 
 [[noreturn]] void
@@ -45,6 +67,13 @@ throw_unknown_backend(const std::string& what)
 {
     throw std::runtime_error(what + " (known backends: " +
                              known_backend_names() + ")");
+}
+
+[[noreturn]] void
+throw_unknown_sampling(const std::string& what)
+{
+    throw std::runtime_error(what + " (known noise sampling modes: " +
+                             known_noise_sampling_names() + ")");
 }
 
 }  // namespace
@@ -119,6 +148,66 @@ backend_rng_contract(SimBackend backend)
                           std::to_string(static_cast<int>(backend)));
 }
 
+int
+backend_rng_contract(SimBackend backend, NoiseSampling sampling)
+{
+    for (const BackendEntry& e : kBackendTable) {
+        if (e.backend == backend) {
+            return sampling == NoiseSampling::kSparse ? e.sparse_rng_contract
+                                                      : e.rng_contract;
+        }
+    }
+    throw_unknown_backend("invalid SimBackend value " +
+                          std::to_string(static_cast<int>(backend)));
+}
+
+const char*
+noise_sampling_name(NoiseSampling sampling)
+{
+    for (const NoiseSamplingEntry& e : kNoiseSamplingTable) {
+        if (e.sampling == sampling)
+            return e.name;
+    }
+    throw_unknown_sampling("invalid NoiseSampling value " +
+                           std::to_string(static_cast<int>(sampling)));
+}
+
+std::string
+known_noise_sampling_names()
+{
+    std::string names;
+    for (const NoiseSamplingEntry& e : kNoiseSamplingTable) {
+        if (!names.empty())
+            names += ", ";
+        names += e.name;
+    }
+    return names;
+}
+
+NoiseSampling
+noise_sampling_from_name(const std::string& name)
+{
+    for (const NoiseSamplingEntry& e : kNoiseSamplingTable) {
+        if (name == e.name)
+            return e.sampling;
+    }
+    throw_unknown_sampling("unknown noise sampling mode \"" + name + "\"");
+}
+
+NoiseSampling
+noise_sampling_from_env()
+{
+    const char* s = std::getenv("GLD_NOISE_SAMPLING");
+    if (s == nullptr || s[0] == '\0')
+        return NoiseSampling::kLockstep;
+    try {
+        return noise_sampling_from_name(s);
+    } catch (const std::runtime_error&) {
+        throw_unknown_sampling("GLD_NOISE_SAMPLING=\"" + std::string(s) +
+                               "\" names no noise sampling mode");
+    }
+}
+
 SimBackend
 backend_from_env()
 {
@@ -187,7 +276,7 @@ batch_words_from_env()
 std::unique_ptr<Simulator>
 make_simulator(SimBackend backend, const CssCode& code,
                const RoundCircuit& rc, const NoiseParams& np, uint64_t seed,
-               int batch_words)
+               int batch_words, NoiseSampling noise_sampling)
 {
     // Out-of-range widths throw for every backend (not just the batch
     // ones), so a bad config fails identically no matter the backend.
@@ -204,10 +293,10 @@ make_simulator(SimBackend backend, const CssCode& code,
         return std::make_unique<TableauLeakSim>(code, rc, np, seed);
       case SimBackend::kBatchFrame:
         return std::make_unique<BatchFrameSim>(code, rc, np, seed,
-                                               batch_words);
+                                               batch_words, noise_sampling);
       case SimBackend::kBatchTableau:
-        return std::make_unique<BatchTableauSim>(code, rc, np, seed,
-                                                 batch_words);
+        return std::make_unique<BatchTableauSim>(
+            code, rc, np, seed, batch_words, noise_sampling);
     }
     throw_unknown_backend("make_simulator: invalid SimBackend value " +
                           std::to_string(static_cast<int>(backend)));

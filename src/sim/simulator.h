@@ -208,6 +208,50 @@ SimBackend backend_from_env();
 int batch_words_from_env();
 
 /**
+ * How the batch backends sample their Bernoulli noise sites.
+ *
+ * kLockstep (the default) is the classic draw contract: every lane of a
+ * batch owns a per-lane RNG stream and draws once at EVERY noise site,
+ * so lane k replays the scalar backend's shot k draw for draw — the
+ * basis of the frame/batch_frame bit-equality gate.
+ *
+ * kSparse is event-driven: one dedicated scalar event stream per
+ * (stream, block) work unit draws geometric skips over the flattened
+ * (site x lane) position space of a round and touches only the lanes
+ * that actually fire — quiet sites cost zero RNG work.  The draw
+ * sequence legitimately differs from the scalar backends', so sparse
+ * batch backends register their own backend_rng_contract values and are
+ * qualified STATISTICALLY by `gld_campaign verify` (pooled z-tests),
+ * not by bit-diff.  Scalar backends ignore the knob entirely (like
+ * batch_words).  RESULT-AFFECTING on batch backends: serialized and
+ * config-hashed when != kLockstep.
+ */
+enum class NoiseSampling : uint8_t {
+    kLockstep = 0,
+    kSparse = 1,
+};
+
+/** Canonical mode name ("lockstep" / "sparse"). */
+const char* noise_sampling_name(NoiseSampling sampling);
+
+/** Comma-separated canonical names, for error messages and --help text. */
+std::string known_noise_sampling_names();
+
+/**
+ * Inverse of noise_sampling_name; throws std::runtime_error naming the
+ * unknown input AND listing every known mode.
+ */
+NoiseSampling noise_sampling_from_name(const std::string& name);
+
+/**
+ * The noise sampling mode selected by the GLD_NOISE_SAMPLING environment
+ * variable — the one resolution point benches, tests and the demo share.
+ * Unset/empty means kLockstep; an unknown name throws, naming the
+ * variable and the known modes.
+ */
+NoiseSampling noise_sampling_from_env();
+
+/**
  * RNG contract group of a backend (from the one backend table).  Two
  * backends with the SAME contract id replay identical (seed, stream,
  * block) draw sequences, so any config's Metrics must be BIT-identical
@@ -216,6 +260,15 @@ int batch_words_from_env();
  * independent randomness and agree only statistically.
  */
 int backend_rng_contract(SimBackend backend);
+
+/**
+ * Mode-aware RNG contract: the draw-sequence group of `backend` running
+ * under `sampling`.  At kLockstep this is backend_rng_contract(backend);
+ * at kSparse the batch backends move to their own contract ids (their
+ * event-driven draw sequence matches no lockstep engine), while the
+ * scalar backends — which ignore the knob — keep their lockstep ids.
+ */
+int backend_rng_contract(SimBackend backend, NoiseSampling sampling);
 
 /**
  * Relative per-shot simulation cost of a backend on an n-qubit code,
@@ -231,14 +284,14 @@ double backend_cost_factor(SimBackend backend, int n_qubits);
  * Builds a backend over a code's scheduled round circuit.  `batch_words`
  * is the lane-span width K for the batch backends (batch_frame,
  * batch_tableau): one batch holds 64*K shots.  Scalar backends ignore
- * it; out-of-range values throw for every backend.
+ * it; out-of-range values throw for every backend.  `noise_sampling`
+ * selects the batch backends' Bernoulli draw contract (lockstep or
+ * event-driven sparse); scalar backends ignore it.
  */
-std::unique_ptr<Simulator> make_simulator(SimBackend backend,
-                                          const CssCode& code,
-                                          const RoundCircuit& rc,
-                                          const NoiseParams& np,
-                                          uint64_t seed,
-                                          int batch_words = 1);
+std::unique_ptr<Simulator> make_simulator(
+    SimBackend backend, const CssCode& code, const RoundCircuit& rc,
+    const NoiseParams& np, uint64_t seed, int batch_words = 1,
+    NoiseSampling noise_sampling = NoiseSampling::kLockstep);
 
 }  // namespace gld
 

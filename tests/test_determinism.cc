@@ -16,6 +16,7 @@
 #include "codes/color_code.h"
 #include "codes/hgp_code.h"
 #include "codes/surface_code.h"
+#include "io/serialize.h"
 #include "metrics_test_util.h"
 #include "runtime/experiment.h"
 
@@ -34,13 +35,16 @@ run_with_threads(const CodeContext& ctx, ExperimentConfig cfg, int threads,
 }
 
 /** The backend under test: GLD_BACKEND, default frame; batch width from
- *  GLD_BATCH_WORDS, default 1. */
+ *  GLD_BATCH_WORDS, default 1; noise sampling from GLD_NOISE_SAMPLING,
+ *  default lockstep — so CI gates the sparse event sampler with this
+ *  same bit-exactness suite by exporting one variable. */
 ExperimentConfig
 base_config()
 {
     ExperimentConfig cfg;
     cfg.backend = backend_from_env();
     cfg.batch_words = batch_words_from_env();
+    cfg.noise_sampling = noise_sampling_from_env();
     return cfg;
 }
 
@@ -352,6 +356,99 @@ TEST(Determinism, BatchFramePartialBlocksCrossWordBoundaries)
                 frame, run_with_threads(ctx, cfg, threads, factory));
         }
     }
+}
+
+// The sparse event sampler draws a DIFFERENT sequence from lockstep (it
+// is qualified statistically by `gld_campaign verify`, not by bit-diff
+// against frame), but its own determinism contract is the same as every
+// backend's: events are derived from (seed, stream, block) alone, so the
+// result is bit-identical across repeated runs, across thread counts,
+// and sharded-vs-single — including multi-block streams with a partial
+// trailing block, where the per-batch event stream reseeds from the
+// block master at each shot batch.
+TEST(Determinism, SparseSamplingBitIdenticalAcrossThreadsAndShards)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+
+    for (SimBackend backend :
+         {SimBackend::kBatchFrame, SimBackend::kBatchTableau}) {
+        SCOPED_TRACE(backend_name(backend));
+        ExperimentConfig cfg;
+        cfg.backend = backend;
+        cfg.noise_sampling = NoiseSampling::kSparse;
+        cfg.np = NoiseParams::standard(2e-3, 0.5);
+        cfg.rounds = 6;
+        cfg.seed = 0x5BA85E5EEDull;
+        cfg.leakage_sampling = true;
+        cfg.record_dlp_series = true;
+        cfg.compute_ler = true;
+        cfg.rng_streams = 2;
+        // One full block + a 17-shot partial per stream: the partial
+        // batch's event space still spans site x lane over the full
+        // block width, with dead lanes masked out of the event masks.
+        cfg.shots = 2 * (ExperimentRunner::shot_block(cfg) + 17);
+        ASSERT_EQ(ExperimentRunner::stream_blocks(cfg, 0), 2);
+
+        const Metrics base = run_with_threads(ctx, cfg, 1, factory);
+        EXPECT_EQ(base.shots, cfg.shots);
+        expect_metrics_identical(base,
+                                 run_with_threads(ctx, cfg, 1, factory));
+        for (int threads : {2, 8, 16}) {
+            SCOPED_TRACE(threads);
+            expect_metrics_identical(
+                base, run_with_threads(ctx, cfg, threads, factory));
+        }
+
+        // Sharded-vs-single: per-stream partials merged in stream order
+        // reproduce the same bits.
+        cfg.threads = 4;
+        const ExperimentRunner runner(ctx, cfg);
+        const std::vector<Metrics> parts =
+            runner.run_partials(factory, {0, 1});
+        Metrics merged = parts[0];
+        merged.merge(parts[1]);
+        expect_metrics_identical(base, merged);
+    }
+}
+
+// Flipping the mode must actually change the batch backends' draws (the
+// two contracts are distinct), while the scalar backends ignore the knob
+// entirely — the two halves of the config-hash story: sparse documents
+// hash differently because the results differ; scalar results stay
+// byte-identical because the mode never reaches them.
+TEST(Determinism, SparseChangesBatchDrawsButNotScalarDraws)
+{
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+
+    ExperimentConfig cfg;
+    cfg.np = NoiseParams::standard(2e-3, 0.5);
+    cfg.rounds = 6;
+    cfg.shots = 150;
+    cfg.seed = 0xBA7C4DE7ull;
+    cfg.leakage_sampling = true;
+    cfg.record_dlp_series = true;
+    cfg.compute_ler = true;
+    cfg.rng_streams = 2;
+
+    cfg.backend = SimBackend::kBatchFrame;
+    const Metrics lockstep = run_with_threads(ctx, cfg, 1, factory);
+    cfg.noise_sampling = NoiseSampling::kSparse;
+    const Metrics sparse = run_with_threads(ctx, cfg, 1, factory);
+    EXPECT_NE(io::metrics_to_json(lockstep).dump(),
+              io::metrics_to_json(sparse).dump());
+
+    cfg.backend = SimBackend::kFrame;
+    cfg.noise_sampling = NoiseSampling::kLockstep;
+    const Metrics frame_lockstep = run_with_threads(ctx, cfg, 1, factory);
+    cfg.noise_sampling = NoiseSampling::kSparse;
+    expect_metrics_identical(frame_lockstep,
+                             run_with_threads(ctx, cfg, 1, factory));
 }
 
 // The speculation policies draw from their own seeded RNG streams; make

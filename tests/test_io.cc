@@ -227,6 +227,19 @@ TEST(Serialize, ConfigHashStability)
     c5.backend = SimBackend::kBatchFrame;
     EXPECT_NE(config_hash(c5), config_hash(cfg));
     EXPECT_NE(config_hash(c5), config_hash(c4));
+    // noise_sampling is hashed ONLY when != lockstep: the default leaves
+    // every pre-existing document and hash byte-identical (no version
+    // bump), while sparse — which redraws the batch backends' randomness
+    // — gets its own hash and round-trips.
+    ExperimentConfig c6 = cfg;
+    c6.noise_sampling = NoiseSampling::kLockstep;
+    EXPECT_EQ(config_hash(c6), config_hash(cfg));
+    EXPECT_FALSE(config_to_json(c6).has("noise_sampling"));
+    c6.noise_sampling = NoiseSampling::kSparse;
+    EXPECT_NE(config_hash(c6), config_hash(cfg));
+    EXPECT_EQ(config_from_json(Json::parse(config_to_json(c6).dump()))
+                  .noise_sampling,
+              NoiseSampling::kSparse);
 }
 
 TEST(Serialize, MetricsRoundTripIsBitExact)

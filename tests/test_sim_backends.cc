@@ -120,6 +120,65 @@ TEST(SimBackends, BackendFromEnvNamesTheVariableOnBadValues)
     }
 }
 
+TEST(SimBackends, NoiseSamplingNamesEnvAndContracts)
+{
+    // Name mapping round-trips, with the same helpful-failure contract
+    // as the backend names.
+    EXPECT_EQ(noise_sampling_from_name("lockstep"),
+              NoiseSampling::kLockstep);
+    EXPECT_EQ(noise_sampling_from_name("sparse"), NoiseSampling::kSparse);
+    EXPECT_STREQ(noise_sampling_name(NoiseSampling::kLockstep), "lockstep");
+    EXPECT_STREQ(noise_sampling_name(NoiseSampling::kSparse), "sparse");
+    try {
+        noise_sampling_from_name("dense");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("\"dense\""), std::string::npos) << what;
+        EXPECT_NE(what.find("lockstep"), std::string::npos) << what;
+        EXPECT_NE(what.find("sparse"), std::string::npos) << what;
+    }
+
+    // GLD_NOISE_SAMPLING: unset = lockstep; bad values name the variable.
+    const char* prev_raw = std::getenv("GLD_NOISE_SAMPLING");
+    const std::string prev = prev_raw != nullptr ? prev_raw : "";
+    ASSERT_EQ(unsetenv("GLD_NOISE_SAMPLING"), 0);
+    EXPECT_EQ(noise_sampling_from_env(), NoiseSampling::kLockstep);
+    ASSERT_EQ(setenv("GLD_NOISE_SAMPLING", "dense", 1), 0);
+    try {
+        noise_sampling_from_env();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("GLD_NOISE_SAMPLING"),
+                  std::string::npos)
+            << e.what();
+    }
+    if (prev_raw != nullptr)
+        ASSERT_EQ(setenv("GLD_NOISE_SAMPLING", prev.c_str(), 1), 0);
+    else
+        ASSERT_EQ(unsetenv("GLD_NOISE_SAMPLING"), 0);
+
+    // RNG contracts: sparse moves ONLY the batch backends to new,
+    // distinct contracts; the scalar backends ignore the mode — which is
+    // exactly what makes (sparse grid, frame reference, batch candidate)
+    // a statistical comparison against a genuine lockstep reference.
+    const NoiseSampling L = NoiseSampling::kLockstep;
+    const NoiseSampling S = NoiseSampling::kSparse;
+    EXPECT_EQ(backend_rng_contract(SimBackend::kFrame, S),
+              backend_rng_contract(SimBackend::kFrame, L));
+    EXPECT_EQ(backend_rng_contract(SimBackend::kTableau, S),
+              backend_rng_contract(SimBackend::kTableau, L));
+    EXPECT_NE(backend_rng_contract(SimBackend::kBatchFrame, S),
+              backend_rng_contract(SimBackend::kBatchFrame, L));
+    EXPECT_NE(backend_rng_contract(SimBackend::kBatchTableau, S),
+              backend_rng_contract(SimBackend::kBatchTableau, L));
+    EXPECT_NE(backend_rng_contract(SimBackend::kBatchFrame, S),
+              backend_rng_contract(SimBackend::kBatchTableau, S));
+    // The one-arg form is the lockstep contract (unchanged call sites).
+    for (SimBackend b : kBackends)
+        EXPECT_EQ(backend_rng_contract(b), backend_rng_contract(b, L));
+}
+
 TEST(SimBackends, CostFactorIsFrameNormalizedAndQuadraticForTableau)
 {
     // The campaign planner's throughput model: frame is the unit; the

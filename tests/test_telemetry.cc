@@ -132,6 +132,36 @@ TEST(TelemetryDriftGate, MetricsBitIdenticalAtWideBatchWidth)
     }
 }
 
+// The drift gate at sparse noise sampling: the event sampler's quiet-
+// round fast paths skip whole fused sweeps, so the telemetry hooks (per-
+// block stage timers, heatmap popcounts) must still see every block and
+// must not perturb the event stream — same bits with and without a
+// collector attached, on both batch backends.
+TEST(TelemetryDriftGate, MetricsBitIdenticalAtSparseSampling)
+{
+    if (!telemetry::kCompiledIn)
+        GTEST_SKIP() << "built with GLD_TELEMETRY=OFF";
+    const CssCode code = SurfaceCode::make(3);
+    const RoundCircuit rc(code);
+    const CodeContext ctx(code, rc, CodeContext::default_scope(code));
+    const PolicyFactory factory = PolicyZoo::eraser(/*use_mlr=*/true);
+
+    for (SimBackend backend :
+         {SimBackend::kBatchFrame, SimBackend::kBatchTableau}) {
+        SCOPED_TRACE(backend_name(backend));
+        ExperimentConfig cfg = small_config(backend);
+        cfg.noise_sampling = NoiseSampling::kSparse;
+        for (int threads : {1, 4}) {
+            SCOPED_TRACE(threads);
+            cfg.threads = threads;
+            const Metrics bare = ExperimentRunner(ctx, cfg).run(factory);
+            const Metrics observed =
+                run_collected(ctx, cfg, factory, /*heatmap=*/true, nullptr);
+            expect_metrics_identical(bare, observed);
+        }
+    }
+}
+
 // The drift gate crossed with worker-state reuse: telemetry attachment
 // and per-worker simulator/policy/decoder reuse are BOTH pure
 // implementation details, so all four {collector on/off} x {reuse

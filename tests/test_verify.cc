@@ -142,6 +142,30 @@ TEST(VerifyCompareMode, FollowsRngContractUnlessPerturbed)
               verify_compare_mode(SimBackend::kBatchFrame, inject));
 }
 
+TEST(VerifyCompareMode, SparseSamplingMovesBatchBackendsToStatistical)
+{
+    VerifyOptions opt;  // reference = frame
+    // Under sparse draws the batch backends leave the scalar-replay
+    // contract: batch_frame vs frame becomes the qualification
+    // comparison — statistical, against a genuine lockstep reference.
+    EXPECT_EQ(CompareMode::kStatistical,
+              verify_compare_mode(SimBackend::kBatchFrame, opt,
+                                  NoiseSampling::kSparse));
+    // Scalar backends ignore the knob: tableau keeps its own contract
+    // and frame-vs-tableau stays statistical exactly as at lockstep.
+    EXPECT_EQ(CompareMode::kStatistical,
+              verify_compare_mode(SimBackend::kTableau, opt,
+                                  NoiseSampling::kSparse));
+    // Two sparse batch arms still share ONE sparse contract per backend:
+    // batch_frame refereed against a batch_frame reference stays
+    // bit-exact even at sparse (same event stream derivation).
+    VerifyOptions bf_ref = opt;
+    bf_ref.reference = SimBackend::kBatchFrame;
+    EXPECT_EQ(CompareMode::kBitExact,
+              verify_compare_mode(SimBackend::kBatchFrame, bf_ref,
+                                  NoiseSampling::kSparse));
+}
+
 // ------------------------------------------------------- Candidates.
 
 TEST(VerifyCandidates, DefaultIsEveryOtherBackend)
@@ -251,6 +275,66 @@ TEST(RunVerify, InjectedRateDeltaIsFlagged)
     for (const RateCheck& c : report.points[0].checks)
         some_check_failed |= !c.pass;
     EXPECT_TRUE(some_check_failed);
+}
+
+TEST(RunVerify, SparseBatchFrameAgreesStatisticallyWithFrameReference)
+{
+    // THE sparse qualification gate: a sparse batch_frame candidate is
+    // refereed against the lockstep scalar frame reference.  The event
+    // sampler draws a completely different randomness sequence, so the
+    // comparison is statistical by contract — and the sampler is only
+    // correct if every refereed rate agrees.
+    CampaignSpec grid = tiny_grid("sparse", 0x5BA85Eu);
+    grid.noise_sampling = NoiseSampling::kSparse;
+    VerifyOptions opt;
+    opt.candidates = {SimBackend::kBatchFrame};
+    opt.threads = 2;
+    const VerifyReport report =
+        run_verify(grid, opt, 1, fresh_dir("sparse"));
+    EXPECT_TRUE(report.pass);
+    ASSERT_EQ(1u, report.points.size());
+    EXPECT_EQ(CompareMode::kStatistical, report.points[0].mode);
+    EXPECT_GT(report.n_stat_tests, 0);
+}
+
+TEST(RunVerify, SparseNullCalibrationPassesAtAlpha)
+{
+    // Null calibration WITHIN sparse mode: same backend (batch_frame),
+    // same sparse sampler, disjoint seeds.  Anything flagged here is a
+    // false positive, so a family-alpha=0.01 pass is the overwhelmingly
+    // likely outcome — and a sparse-sampler bug that skews the draw
+    // distribution between seeds flips it.
+    CampaignSpec grid = tiny_grid("sparsenull", 0x5BA85EA11u);
+    grid.noise_sampling = NoiseSampling::kSparse;
+    VerifyOptions opt;
+    opt.reference = SimBackend::kBatchFrame;
+    opt.candidates = {SimBackend::kBatchFrame};
+    opt.independent_seeds = true;
+    opt.threads = 2;
+    const VerifyReport report =
+        run_verify(grid, opt, 1, fresh_dir("sparsenull"));
+    EXPECT_TRUE(report.pass);
+    ASSERT_EQ(1u, report.points.size());
+    EXPECT_EQ(CompareMode::kStatistical, report.points[0].mode);
+    ASSERT_EQ(4u, report.points[0].checks.size());  // ler, fn, fp, dlp
+}
+
+TEST(RunVerify, SparseInjectedRateDeltaIsFlagged)
+{
+    // Power at sparse: 3x physical error rate on the sparse candidate
+    // arm must be flagged against the lockstep frame reference — the
+    // referee keeps its teeth when the sampler changes.
+    CampaignSpec grid = tiny_grid("sparseinject", 0xA11CEu);
+    grid.noise_sampling = NoiseSampling::kSparse;
+    VerifyOptions opt;
+    opt.candidates = {SimBackend::kBatchFrame};
+    opt.inject_noise_scale = 3.0;
+    opt.threads = 2;
+    const VerifyReport report =
+        run_verify(grid, opt, 1, fresh_dir("sparseinject"));
+    EXPECT_FALSE(report.pass);
+    ASSERT_EQ(1u, report.points.size());
+    EXPECT_FALSE(report.points[0].pass);
 }
 
 TEST(RunVerify, RejectsBadOptions)

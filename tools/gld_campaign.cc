@@ -89,6 +89,11 @@ usage(const char* argv0)
         "                       (overrides the spec; sets the scheduler\n"
         "                       block to K*64 shots, so like --backend it\n"
         "                       changes every job's config hash)\n"
+        "  --noise-sampling <m> noise sampling mode: %s\n"
+        "                       (overrides the spec; sparse redraws the\n"
+        "                       batch backends' randomness event-wise, so\n"
+        "                       like --backend it changes every job's\n"
+        "                       config hash; scalar backends ignore it)\n"
         "  --no-telemetry       disable the telemetry side channel (run/\n"
         "                       demo; results are bit-identical either\n"
         "                       way — telemetry only adds stage timers,\n"
@@ -116,7 +121,8 @@ usage(const char* argv0)
         "                       multiply candidate noise p by f — a\n"
         "                       deliberate fault the referee must flag\n"
         "                       (power calibration; default 1.0 = off)\n",
-        argv0, known_backend_names().c_str(), kMaxBatchWords);
+        argv0, known_backend_names().c_str(), kMaxBatchWords,
+        known_noise_sampling_names().c_str());
     return 2;
 }
 
@@ -126,6 +132,7 @@ struct Args {
     std::string out_dir = "campaign_out";
     std::string backend;  ///< empty = use the spec's backend
     int batch_words = 0;  ///< 0 = use the spec's batch width
+    std::string noise_sampling;  ///< empty = use the spec's mode
     int shard = -1;
     int n_shards = 1;
     int threads = 0;
@@ -176,6 +183,9 @@ parse_args(int argc, char** argv)
                     "--batch-words wants 1.." +
                     std::to_string(kMaxBatchWords) + ", got " +
                     std::to_string(a.batch_words));
+        } else if (arg == "--noise-sampling") {
+            a.noise_sampling = need_value("--noise-sampling");
+            noise_sampling_from_name(a.noise_sampling);  // validate early
         } else if (arg == "--shards") {
             a.n_shards = std::stoi(need_value("--shards"));
         } else if (arg == "--shard") {
@@ -222,13 +232,15 @@ load_spec(const Args& a)
                                  a.command + "'");
     CampaignSpec spec = CampaignSpec::from_json(
         io::Json::parse(io::read_file(a.spec_path)));
-    // A --backend / --batch-words override rewrites every job's config
-    // (and hash), so run/merge/report agree as long as they get the same
-    // flags.
+    // A --backend / --batch-words / --noise-sampling override rewrites
+    // every job's config (and hash), so run/merge/report agree as long
+    // as they get the same flags.
     if (!a.backend.empty())
         spec.backend = backend_from_name(a.backend);
     if (a.batch_words > 0)
         spec.batch_words = a.batch_words;
+    if (!a.noise_sampling.empty())
+        spec.noise_sampling = noise_sampling_from_name(a.noise_sampling);
     return spec;
 }
 
@@ -454,6 +466,12 @@ cmd_demo(const Args& a)
         spec.batch_words = a.batch_words;
     else
         spec.batch_words = batch_words_from_env();
+    // ...and for the noise sampling mode: GLD_NOISE_SAMPLING lets the CI
+    // matrix run the whole tier-1 suite under sparse draws end-to-end.
+    if (!a.noise_sampling.empty())
+        spec.noise_sampling = noise_sampling_from_name(a.noise_sampling);
+    else
+        spec.noise_sampling = noise_sampling_from_env();
 
     const int n_shards = 3;
     io::make_dirs(a.out_dir);
@@ -546,6 +564,12 @@ cmd_verify(const Args& a)
     // exactly the bit-identity claim the K-word refactor must defend.
     if (a.batch_words > 0)
         grid.batch_words = a.batch_words;
+    // --noise-sampling also applies grid-wide: under sparse the batch
+    // backends move to their own RNG contracts, so e.g. batch_frame is
+    // refereed STATISTICALLY against a genuine lockstep frame reference
+    // — the qualification gate for the sparse sampler itself.
+    if (!a.noise_sampling.empty())
+        grid.noise_sampling = noise_sampling_from_name(a.noise_sampling);
 
     campaign::VerifyOptions opt;
     opt.reference = backend_from_name(a.reference);
